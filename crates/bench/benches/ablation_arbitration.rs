@@ -1,0 +1,48 @@
+//! Ablation bench: how the memory-module arbitration discipline affects
+//! simulated-episode cost. Random arbitration needs an RNG draw per busy
+//! cycle; oldest-first scans for the minimum; round-robin rotates. The
+//! metric-level ablation (accesses/waiting per discipline) is printed by
+//! `repro ablations`; this measures the simulator cost of each choice.
+
+use std::time::Duration;
+
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_net::Arbitration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbitration_discipline");
+    for arb in Arbitration::ALL {
+        let sim = BarrierSim::new(
+            BarrierConfig::new(128, 100).with_arbitration(arb),
+            BackoffPolicy::exponential(2),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arb:?}")),
+            &sim,
+            |b, sim| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(sim.run(seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation_arbitration;
+    config = configure();
+    targets = benches
+}
+criterion_main!(ablation_arbitration);

@@ -1,0 +1,142 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p abs-bench --release --bin repro -- all
+//! cargo run -p abs-bench --release --bin repro -- fig7 fig10
+//! cargo run -p abs-bench --release --bin repro -- --quick table1
+//! cargo run -p abs-bench --release --bin repro -- --csv out/ fig5
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use abs_bench::{experiments, ReproConfig};
+
+const IDS: &[&str] = &[
+    "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "hw", "sec71", "resource", "netback", "combining", "ablations", "single", "snoopy",
+];
+
+fn main() -> ExitCode {
+    let mut config = ReproConfig::paper();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = ReproConfig::quick(),
+            "--reps" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--reps needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.reps = v;
+            }
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--csv" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
+            other if IDS.contains(&other) => targets.push(other.to_string()),
+            other => {
+                eprintln!("unknown experiment {other:?}; known: {}", IDS.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if targets.is_empty() {
+        print_help();
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for id in targets {
+        run_one(&id, &config, csv_dir.as_deref());
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, config: &ReproConfig, csv_dir: Option<&std::path::Path>) {
+    // Each experiment yields either a table (printed as-is) or a series
+    // set (printed as a table, exported as CSV).
+    let mut csv: Option<(String, String)> = None;
+    let rendered = match id {
+        "fig1" => experiments::fig1(config).to_string(),
+        "table1" => experiments::table1(config).to_string(),
+        "table2" => experiments::table2(config).to_string(),
+        "table3" => experiments::table3(config).to_string(),
+        "fig3" => experiments::fig3(config).to_string(),
+        "fig4" => {
+            let set = experiments::fig4(config);
+            csv = Some((format!("{id}.csv"), set.to_csv()));
+            set.to_string()
+        }
+        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" => {
+            let a = match id {
+                "fig5" | "fig8" => 0,
+                "fig6" | "fig9" => 100,
+                _ => 1000,
+            };
+            let figs = experiments::barrier_figures(a, config);
+            let set = if matches!(id, "fig5" | "fig6" | "fig7") {
+                figs.accesses
+            } else {
+                figs.waiting
+            };
+            csv = Some((format!("{id}.csv"), set.to_csv()));
+            set.to_string()
+        }
+        "hw" => experiments::hardware(config).to_string(),
+        "sec71" => experiments::sec71(config).to_string(),
+        "resource" => experiments::resource(config).to_string(),
+        "netback" => experiments::netback(config).to_string(),
+        "combining" => experiments::combining(config).to_string(),
+        "single" => experiments::single(config).to_string(),
+        "snoopy" => experiments::snoopy(config).to_string(),
+        "ablations" => format!(
+            "{}\n{}\n{}",
+            experiments::ablation_arbitration(config),
+            experiments::ablation_determinism(config),
+            experiments::ablation_cap(config)
+        ),
+        _ => unreachable!("validated in main"),
+    };
+    println!("{rendered}");
+    if let (Some(dir), Some((name, data))) = (csv_dir, csv) {
+        let path = dir.join(name);
+        match fs::write(&path, data) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro [--quick] [--reps N] [--seed S] [--csv DIR] <id>... | all\n\n\
+         experiments: {}",
+        IDS.join(" ")
+    );
+}

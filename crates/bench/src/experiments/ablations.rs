@@ -1,0 +1,162 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Arbitration** — the paper's Model-1 constants implicitly assume
+//!   memoryless random winner selection at the memory module; how much do
+//!   the results move under round-robin or oldest-first (queueing) service?
+//! * **Determinism** — Section 4.2 argues for deterministic backoff over
+//!   probabilistic retry; compare deterministic `base^k` against a delay
+//!   drawn uniformly from `[1, base^k]`.
+//! * **Cap** — Figure 10's overshoot comes from uncapped exponential
+//!   delays; a cap trades some access savings for bounded waiting.
+
+use abs_core::{aggregate_runs, BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_net::Arbitration;
+use abs_sim::table::{fmt_f64, Table};
+
+use crate::ReproConfig;
+
+/// Arbitration ablation: all three module-service disciplines at
+/// `N = 64`, `A ∈ {0, 1000}`, no backoff and binary backoff.
+pub fn ablation_arbitration(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec![
+        "arbitration",
+        "A",
+        "policy",
+        "accesses/proc",
+        "waiting",
+    ])
+    .with_title("Ablation: memory-module arbitration discipline (N = 64)");
+    for arb in Arbitration::ALL {
+        for a in [0u64, 1000] {
+            for policy in [BackoffPolicy::None, BackoffPolicy::exponential(2)] {
+                let cfg = BarrierConfig::new(64, a).with_arbitration(arb);
+                let agg = aggregate_runs(&BarrierSim::new(cfg, policy), config.reps, config.seed);
+                t.add_row(vec![
+                    format!("{arb:?}"),
+                    a.to_string(),
+                    policy.label(),
+                    fmt_f64(agg.mean_accesses(), 1),
+                    fmt_f64(agg.mean_waiting(), 0),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Determinism ablation: deterministic vs jittered exponential backoff.
+pub fn ablation_determinism(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec!["policy", "N", "A", "accesses/proc", "waiting"])
+        .with_title("Ablation: deterministic vs randomized exponential backoff (Sec. 4.2)");
+    for (n, a) in [(16usize, 1000u64), (64, 1000), (64, 100)] {
+        for policy in [
+            BackoffPolicy::exponential(2),
+            BackoffPolicy::ExponentialJittered { base: 2 },
+        ] {
+            let agg = aggregate_runs(
+                &BarrierSim::new(BarrierConfig::new(n, a), policy),
+                config.reps,
+                config.seed,
+            );
+            t.add_row(vec![
+                policy.label(),
+                n.to_string(),
+                a.to_string(),
+                fmt_f64(agg.mean_accesses(), 2),
+                fmt_f64(agg.mean_waiting(), 0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Cap ablation: the waiting-time overshoot of uncapped exponential
+/// backoff vs capped variants, at the Figure-10 hot spot (N = 64,
+/// A = 1000).
+pub fn ablation_cap(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec!["policy", "accesses/proc", "waiting", "completion"])
+        .with_title("Ablation: backoff cap at N = 64, A = 1000 (Fig. 10 overshoot)");
+    let policies = [
+        BackoffPolicy::None,
+        BackoffPolicy::exponential(8),
+        BackoffPolicy::exponential_capped(8, 512),
+        BackoffPolicy::exponential_capped(8, 64),
+        BackoffPolicy::exponential(2),
+        BackoffPolicy::exponential_capped(2, 64),
+    ];
+    for policy in policies {
+        let agg = aggregate_runs(
+            &BarrierSim::new(BarrierConfig::new(64, 1000), policy),
+            config.reps,
+            config.seed,
+        );
+        t.add_row(vec![
+            policy.label(),
+            fmt_f64(agg.mean_accesses(), 1),
+            fmt_f64(agg.mean_waiting(), 0),
+            fmt_f64(agg.flag_set_at, 0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbitration_table_shape() {
+        assert_eq!(ablation_arbitration(&ReproConfig::quick()).len(), 12);
+    }
+
+    #[test]
+    fn determinism_table_shape() {
+        assert_eq!(ablation_determinism(&ReproConfig::quick()).len(), 6);
+    }
+
+    #[test]
+    fn cap_bounds_waiting() {
+        let config = ReproConfig::quick();
+        let uncapped = aggregate_runs(
+            &BarrierSim::new(
+                BarrierConfig::new(64, 1000),
+                BackoffPolicy::exponential(8),
+            ),
+            config.reps,
+            config.seed,
+        );
+        let capped = aggregate_runs(
+            &BarrierSim::new(
+                BarrierConfig::new(64, 1000),
+                BackoffPolicy::exponential_capped(8, 64),
+            ),
+            config.reps,
+            config.seed,
+        );
+        assert!(
+            capped.mean_waiting() < uncapped.mean_waiting(),
+            "cap must bound the overshoot: {} vs {}",
+            capped.mean_waiting(),
+            uncapped.mean_waiting()
+        );
+    }
+
+    #[test]
+    fn jittered_policy_still_saves() {
+        let config = ReproConfig::quick();
+        let none = aggregate_runs(
+            &BarrierSim::new(BarrierConfig::new(16, 1000), BackoffPolicy::None),
+            config.reps,
+            config.seed,
+        );
+        let jit = aggregate_runs(
+            &BarrierSim::new(
+                BarrierConfig::new(16, 1000),
+                BackoffPolicy::ExponentialJittered { base: 2 },
+            ),
+            config.reps,
+            config.seed,
+        );
+        assert!(jit.mean_accesses() < none.mean_accesses() * 0.5);
+    }
+}

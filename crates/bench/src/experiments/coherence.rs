@@ -1,0 +1,157 @@
+//! Section-2 exhibits: Figure 1, Table 1 and Table 2.
+
+use abs_coherence::{DirectorySystem, PointerLimit, SyncCaching};
+use abs_sim::table::{fmt_f64, Table};
+use abs_trace::Scheduler;
+
+use crate::ReproConfig;
+
+fn run_machine(
+    app: &abs_trace::SpmdApp,
+    procs: usize,
+    limit: PointerLimit,
+    mode: SyncCaching,
+    seed: u64,
+) -> DirectorySystem {
+    let mut sys = DirectorySystem::new(
+        procs,
+        abs_coherence::CacheGeometry::paper(),
+        limit,
+        mode,
+    );
+    Scheduler::new(app.clone(), procs, seed).run(&mut sys);
+    sys
+}
+
+/// **Figure 1**: "Cache invalidation statistics for SIMPLE with 64
+/// processors. The height of a bar at x reflects the fraction of write hits
+/// to previously clean blocks that resulted in x invalidation messages."
+///
+/// Rows are `x = 1..=12`; the paper's headline is that ≥95 % of
+/// invalidating writes invalidate at most three caches.
+pub fn fig1(config: &ReproConfig) -> Table {
+    let sys = run_machine(
+        &abs_trace::apps::simple_like(),
+        config.procs,
+        PointerLimit::Full,
+        SyncCaching::Cached,
+        config.seed,
+    );
+    let stats = sys.stats();
+    let mut t = Table::new(vec!["invalidations", "fraction", "cumulative"]).with_title(format!(
+        "Figure 1: invalidation histogram, SIMPLE, {} processors, Dir_N NB",
+        config.procs
+    ));
+    for x in 1..=12u64 {
+        t.add_row(vec![
+            x.to_string(),
+            fmt_f64(stats.fraction_given_invalidation(x), 4),
+            fmt_f64(stats.cumulative_given_invalidation(x), 4),
+        ]);
+    }
+    t
+}
+
+/// **Table 1**: percentage of synchronization and non-synchronization
+/// references that cause invalidations, for directory schemes with 2, 3,
+/// 4, 5 and full pointers, across the three applications.
+pub fn table1(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec!["Application", "Pointers", "Non-Synch. %", "Synch. %"])
+        .with_title("Table 1: references causing invalidations (percent)");
+    for app in abs_trace::apps::all() {
+        for limit in PointerLimit::paper_sweep() {
+            let sys = run_machine(
+                &app,
+                config.procs,
+                limit,
+                SyncCaching::Cached,
+                config.seed,
+            );
+            t.add_row(vec![
+                app.name().to_string(),
+                limit.label(config.procs),
+                fmt_f64(sys.stats().pct_nonsync_invalidating(), 1),
+                fmt_f64(sys.stats().pct_sync_invalidating(), 1),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Table 2**: synchronization traffic to main memory as a percentage of
+/// total traffic when synchronization variables are not cached (other
+/// blocks coherent under Dir_i NB).
+pub fn table2(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec!["Application", "Pointers", "Sync traffic %"])
+        .with_title("Table 2: uncached synchronization traffic (percent of total)");
+    for app in abs_trace::apps::all() {
+        for limit in PointerLimit::paper_sweep() {
+            let sys = run_machine(
+                &app,
+                config.procs,
+                limit,
+                SyncCaching::UncachedSync,
+                config.seed,
+            );
+            t.add_row(vec![
+                app.name().to_string(),
+                limit.label(config.procs),
+                fmt_f64(sys.stats().pct_sync_traffic(), 1),
+            ]);
+        }
+        // The Section-2.2 companion measurement: all shared variables
+        // uncached (the RP3/Ultracomputer configuration).
+        let sys = run_machine(
+            &app,
+            config.procs,
+            PointerLimit::Limited(4),
+            SyncCaching::UncachedShared,
+            config.seed,
+        );
+        t.add_row(vec![
+            app.name().to_string(),
+            "shared-uncached".to_string(),
+            fmt_f64(sys.stats().pct_sync_traffic(), 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ReproConfig {
+        ReproConfig::quick()
+    }
+
+    #[test]
+    fn fig1_mass_concentrates_low() {
+        let t = fig1(&quick());
+        assert_eq!(t.len(), 12);
+        // Re-derive the headline directly.
+        let sys = run_machine(
+            &abs_trace::apps::simple_like(),
+            16,
+            PointerLimit::Full,
+            SyncCaching::Cached,
+            quick().seed,
+        );
+        assert!(
+            sys.stats().cumulative_given_invalidation(3) > 0.9,
+            "paper: over 95% of invalidating writes hit <= 3 caches"
+        );
+    }
+
+    #[test]
+    fn table1_has_all_rows() {
+        let t = table1(&quick());
+        assert_eq!(t.len(), 3 * 5);
+    }
+
+    #[test]
+    fn table2_has_all_rows() {
+        let t = table2(&quick());
+        assert_eq!(t.len(), 3 * 6);
+    }
+}

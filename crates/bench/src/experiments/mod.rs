@@ -1,0 +1,15 @@
+//! Experiment implementations, one per paper exhibit.
+
+mod ablations;
+mod barrier;
+mod coherence;
+mod extensions;
+mod traces;
+mod variants;
+
+pub use ablations::{ablation_arbitration, ablation_cap, ablation_determinism};
+pub use barrier::{barrier_figures, fig4, hardware, sec71, BarrierFigures};
+pub use coherence::{fig1, table1, table2};
+pub use extensions::{combining, netback, resource};
+pub use traces::{fig3, table3};
+pub use variants::{single, snoopy};

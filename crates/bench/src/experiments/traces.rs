@@ -1,0 +1,77 @@
+//! Section-5 measurements on the applications: Table 3 and Figure 3.
+
+use abs_sim::table::{fmt_f64, Table};
+use abs_trace::{arrival_histogram, intervals, Scheduler};
+
+use crate::ReproConfig;
+
+/// **Table 3**: "Average number of cycles, A, between first and last
+/// arrivals at waits and barriers. E is the average number of cycles
+/// between the last arrival at the previous barrier (or wait) and the
+/// first arrival at the next barrier (or wait)."
+///
+/// Rows: each application at 16 and 64 processors.
+pub fn table3(config: &ReproConfig) -> Table {
+    let mut t = Table::new(vec!["Application", "Processors", "A", "E"])
+        .with_title("Table 3: arrival interval A and inter-barrier interval E (cycles)");
+    for app in abs_trace::apps::all() {
+        for procs in [16usize, 64] {
+            let (report, _) = Scheduler::new(app.clone(), procs, config.seed).run_counting();
+            let iv = intervals(&report);
+            t.add_row(vec![
+                app.name().to_string(),
+                procs.to_string(),
+                fmt_f64(iv.mean_a, 0),
+                fmt_f64(iv.mean_e, 0),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Figure 3**: "Arrival distribution of the processors involved in a
+/// synchronization during the interval A" — normalized arrival-time
+/// histograms at 16 processors, per application.
+///
+/// FFT's distribution is roughly uniform; SIMPLE's is skewed toward the
+/// beginning and end of the interval because of uneven load balancing.
+pub fn fig3(config: &ReproConfig) -> Table {
+    const BINS: usize = 10;
+    let mut headers = vec!["bin".to_string()];
+    let apps = abs_trace::apps::all();
+    headers.extend(apps.iter().map(|a| format!("{}16", a.name())));
+    let mut t = Table::new(headers)
+        .with_title("Figure 3: arrival-time distribution within A (fraction per decile)");
+    let histograms: Vec<_> = apps
+        .iter()
+        .map(|app| {
+            let (report, _) = Scheduler::new(app.clone(), 16, config.seed).run_counting();
+            arrival_histogram(&report.episodes, BINS)
+        })
+        .collect();
+    for bin in 0..BINS as u64 {
+        let mut row = vec![format!("{}%-{}%", bin * 10, (bin + 1) * 10)];
+        for h in &histograms {
+            row.push(fmt_f64(h.fraction(bin), 3));
+        }
+        t.add_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_and_orderings() {
+        let t = table3(&ReproConfig::quick());
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn fig3_rows() {
+        let t = fig3(&ReproConfig::quick());
+        assert_eq!(t.len(), 10);
+    }
+}

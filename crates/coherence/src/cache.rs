@@ -1,0 +1,220 @@
+//! Direct-mapped caches with the paper's geometry.
+//!
+//! "The simulations used direct-mapped caches of size 256KBytes and block
+//! size 16 bytes."
+
+/// Cache geometry: total size and block size, both powers of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Total cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Block (line) size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's geometry: 256 KB direct-mapped, 16-byte blocks.
+    pub fn paper() -> Self {
+        Self {
+            cache_bytes: 256 * 1024,
+            block_bytes: 16,
+        }
+    }
+
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two and the cache holds at
+    /// least one block.
+    pub fn new(cache_bytes: usize, block_bytes: usize) -> Self {
+        assert!(cache_bytes.is_power_of_two(), "cache size must be 2^k");
+        assert!(block_bytes.is_power_of_two(), "block size must be 2^k");
+        assert!(cache_bytes >= block_bytes, "cache must hold a block");
+        Self {
+            cache_bytes,
+            block_bytes,
+        }
+    }
+
+    /// Number of lines in a direct-mapped cache.
+    pub fn lines(&self) -> usize {
+        self.cache_bytes / self.block_bytes
+    }
+
+    /// The block address (block-aligned index) containing a byte address.
+    pub fn block_of(&self, addr: u64) -> u64 {
+        addr / self.block_bytes as u64
+    }
+
+    /// The direct-mapped line index of a block address.
+    pub fn line_of(&self, block: u64) -> usize {
+        (block % self.lines() as u64) as usize
+    }
+}
+
+/// Coherence state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Clean copy; may be shared with other caches.
+    Shared,
+    /// Modified copy; the only copy in any cache.
+    Dirty,
+}
+
+/// One processor's direct-mapped cache.
+///
+/// # Examples
+///
+/// ```
+/// use abs_coherence::cache::{CacheGeometry, DirectMappedCache, LineState};
+/// let mut c = DirectMappedCache::new(CacheGeometry::new(1024, 16));
+/// let block = 42;
+/// assert!(c.lookup(block).is_none());
+/// c.fill(block, LineState::Shared);
+/// assert_eq!(c.lookup(block), Some(LineState::Shared));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectMappedCache {
+    geometry: CacheGeometry,
+    tags: Vec<Option<(u64, LineState)>>,
+}
+
+impl DirectMappedCache {
+    /// Creates an empty cache.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Self {
+            geometry,
+            tags: vec![None; geometry.lines()],
+        }
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Returns the state of `block` if it is resident.
+    pub fn lookup(&self, block: u64) -> Option<LineState> {
+        match self.tags[self.geometry.line_of(block)] {
+            Some((tag, state)) if tag == block => Some(state),
+            _ => None,
+        }
+    }
+
+    /// Installs `block` with `state`, returning the evicted resident
+    /// `(block, state)` if the line held a *different* block.
+    pub fn fill(&mut self, block: u64, state: LineState) -> Option<(u64, LineState)> {
+        let line = self.geometry.line_of(block);
+        let evicted = match self.tags[line] {
+            Some((tag, old)) if tag != block => Some((tag, old)),
+            _ => None,
+        };
+        self.tags[line] = Some((block, state));
+        evicted
+    }
+
+    /// Upgrades or downgrades the state of a resident block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn set_state(&mut self, block: u64, state: LineState) {
+        let line = self.geometry.line_of(block);
+        match &mut self.tags[line] {
+            Some((tag, s)) if *tag == block => *s = state,
+            _ => panic!("block {block} not resident"),
+        }
+    }
+
+    /// Removes `block` if resident, returning its state.
+    pub fn invalidate(&mut self, block: u64) -> Option<LineState> {
+        let line = self.geometry.line_of(block);
+        match self.tags[line] {
+            Some((tag, state)) if tag == block => {
+                self.tags[line] = None;
+                Some(state)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DirectMappedCache {
+        DirectMappedCache::new(CacheGeometry::new(256, 16)) // 16 lines
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let g = CacheGeometry::paper();
+        assert_eq!(g.lines(), 16384);
+        assert_eq!(g.block_of(31), 1);
+        assert_eq!(g.block_of(32), 2);
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(5), None);
+        assert_eq!(c.fill(5, LineState::Shared), None);
+        assert_eq!(c.lookup(5), Some(LineState::Shared));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict() {
+        let mut c = small();
+        c.fill(3, LineState::Dirty);
+        // Block 19 maps to the same line (19 % 16 == 3).
+        let evicted = c.fill(19, LineState::Shared);
+        assert_eq!(evicted, Some((3, LineState::Dirty)));
+        assert_eq!(c.lookup(3), None);
+        assert_eq!(c.lookup(19), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn refill_same_block_is_not_eviction() {
+        let mut c = small();
+        c.fill(7, LineState::Shared);
+        assert_eq!(c.fill(7, LineState::Dirty), None);
+        assert_eq!(c.lookup(7), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn set_state_upgrades() {
+        let mut c = small();
+        c.fill(9, LineState::Shared);
+        c.set_state(9, LineState::Dirty);
+        assert_eq!(c.lookup(9), Some(LineState::Dirty));
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn set_state_missing_panics() {
+        small().set_state(1, LineState::Dirty);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.fill(2, LineState::Shared);
+        assert_eq!(c.invalidate(2), Some(LineState::Shared));
+        assert_eq!(c.invalidate(2), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        CacheGeometry::new(1000, 16);
+    }
+}

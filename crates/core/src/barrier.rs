@@ -1,0 +1,579 @@
+//! The barrier simulator (Sections 3, 5 and 6).
+//!
+//! Implements the paper's evaluation model literally:
+//!
+//! * `N` processors arrive at the barrier uniformly at random inside the
+//!   interval `[0, A]` (Section 5's arrival model).
+//! * The barrier variable and the barrier flag live in **different** memory
+//!   modules; each module serves exactly one access per cycle; denied
+//!   accesses retry on the next cycle and still count as network accesses
+//!   (Section 3).
+//! * An arriving processor wins a fetch-and-increment on the barrier
+//!   variable, then — after any variable backoff — polls the flag. The last
+//!   arriver instead contends to *write* the flag. After an unsuccessful
+//!   **served** flag read the processor consults its [`BackoffPolicy`];
+//!   denied attempts retry immediately.
+//!
+//! The two reported metrics are the paper's: the number of network accesses
+//! each process makes from arriving at the barrier variable to proceeding
+//! past the flag, and the number of cycles that takes.
+
+use abs_net::module::{Arbitration, MemoryModule, Request};
+use abs_sim::rng::Xoshiro256PlusPlus;
+
+use crate::policy::BackoffPolicy;
+
+/// Static parameters of a barrier episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierConfig {
+    /// Number of synchronizing processors, `N >= 1`.
+    pub n: usize,
+    /// Arrival interval `A` in cycles; 0 means simultaneous arrival.
+    pub span: u64,
+    /// Memory-module arbitration policy (the paper's model is random).
+    pub arbitration: Arbitration,
+}
+
+impl BarrierConfig {
+    /// Creates a configuration with the paper's default random arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, span: u64) -> Self {
+        assert!(n > 0, "at least one processor required");
+        Self {
+            n,
+            span,
+            arbitration: Arbitration::Random,
+        }
+    }
+
+    /// Returns a copy using the given arbitration policy.
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    NotArrived,
+    VarRequest { since: u64 },
+    Waiting { until: u64 },
+    FlagPoll { since: u64 },
+    FlagWrite { since: u64 },
+    Queued,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Proc {
+    arrival: u64,
+    phase: Phase,
+    var_accesses: u64,
+    flag_before: u64,
+    flag_after: u64,
+    polls: u32,
+    done_at: u64,
+    was_queued: bool,
+}
+
+/// The result of one simulated barrier episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BarrierRun {
+    n: usize,
+    accesses: Vec<u64>,
+    waiting: Vec<u64>,
+    var_accesses: u64,
+    flag_before: u64,
+    flag_after: u64,
+    queued: usize,
+    flag_set_at: u64,
+    completion: u64,
+}
+
+impl BarrierRun {
+    /// Network accesses per process (barrier variable + flag, served or
+    /// denied).
+    pub fn accesses(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Waiting time per process: barrier-variable arrival to observing the
+    /// flag set.
+    pub fn waiting(&self) -> &[u64] {
+        &self.waiting
+    }
+
+    /// Mean network accesses per process — the y-axis of Figures 4–7.
+    pub fn mean_accesses(&self) -> f64 {
+        mean_u64(&self.accesses)
+    }
+
+    /// Mean waiting time per process — the y-axis of Figures 8–10.
+    pub fn mean_waiting(&self) -> f64 {
+        mean_u64(&self.waiting)
+    }
+
+    /// Total network accesses by all processes in the episode.
+    pub fn total_accesses(&self) -> u64 {
+        self.accesses.iter().sum()
+    }
+
+    /// Mean accesses spent winning the barrier variable.
+    pub fn mean_var_accesses(&self) -> f64 {
+        self.var_accesses as f64 / self.n as f64
+    }
+
+    /// Mean flag accesses made before the flag was set.
+    pub fn mean_flag_before(&self) -> f64 {
+        self.flag_before as f64 / self.n as f64
+    }
+
+    /// Mean flag accesses made at or after the cycle the flag was set (the
+    /// "drain").
+    pub fn mean_flag_after(&self) -> f64 {
+        self.flag_after as f64 / self.n as f64
+    }
+
+    /// Processes that parked under a queue-on-threshold policy.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// The cycle at which the last arriver's flag write was served.
+    pub fn flag_set_at(&self) -> u64 {
+        self.flag_set_at
+    }
+
+    /// The cycle at which the last process proceeded past the barrier.
+    pub fn completion(&self) -> u64 {
+        self.completion
+    }
+}
+
+fn mean_u64(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64
+    }
+}
+
+/// A deterministic simulator of one barrier configuration under one backoff
+/// policy.
+///
+/// # Examples
+///
+/// ```
+/// use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+///
+/// // Model 1 check: at A = 0 without backoff the mean access count is
+/// // about 5N/2 (averaged over a few episodes; a single episode varies
+/// // with the random arbitration).
+/// let sim = BarrierSim::new(BarrierConfig::new(64, 0), BackoffPolicy::None);
+/// let mean = (0..20).map(|s| sim.run(s).mean_accesses()).sum::<f64>() / 20.0;
+/// let model1 = 2.5 * 64.0;
+/// assert!((mean - model1).abs() < model1 * 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierSim {
+    config: BarrierConfig,
+    policy: BackoffPolicy,
+}
+
+impl BarrierSim {
+    /// Creates a simulator.
+    pub fn new(config: BarrierConfig, policy: BackoffPolicy) -> Self {
+        Self { config, policy }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BarrierConfig {
+        self.config
+    }
+
+    /// The backoff policy in force.
+    pub fn policy(&self) -> BackoffPolicy {
+        self.policy
+    }
+
+    /// Simulates one barrier episode with the given seed.
+    pub fn run(&self, seed: u64) -> BarrierRun {
+        let n = self.config.n;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let arrivals = rng.uniform_arrivals(n, self.config.span);
+
+        let mut procs: Vec<Proc> = arrivals
+            .iter()
+            .map(|&arrival| Proc {
+                arrival,
+                phase: Phase::NotArrived,
+                var_accesses: 0,
+                flag_before: 0,
+                flag_after: 0,
+                polls: 0,
+                done_at: 0,
+                was_queued: false,
+            })
+            .collect();
+
+        let mut var_module = MemoryModule::new(self.config.arbitration);
+        let mut flag_module = MemoryModule::new(self.config.arbitration);
+
+        let mut now = arrivals[0];
+        let mut barrier_count = 0usize;
+        let mut flag_set_at: Option<u64> = None;
+        let mut done = 0usize;
+        let mut var_reqs: Vec<Request> = Vec::with_capacity(n);
+        let mut flag_reqs: Vec<Request> = Vec::with_capacity(n);
+
+        while done < n {
+            // Activate arrivals and expired waits.
+            for p in procs.iter_mut() {
+                match p.phase {
+                    Phase::NotArrived if p.arrival <= now => {
+                        p.phase = Phase::VarRequest { since: now };
+                    }
+                    Phase::Waiting { until } if until <= now => {
+                        p.phase = Phase::FlagPoll { since: now };
+                    }
+                    _ => {}
+                }
+            }
+
+            // Collect this cycle's requests.
+            var_reqs.clear();
+            flag_reqs.clear();
+            for (id, p) in procs.iter_mut().enumerate() {
+                match p.phase {
+                    Phase::VarRequest { since } => {
+                        p.var_accesses += 1;
+                        var_reqs.push(Request::new(id, since));
+                    }
+                    Phase::FlagPoll { since } | Phase::FlagWrite { since } => {
+                        if flag_set_at.is_some_and(|t| now >= t) {
+                            p.flag_after += 1;
+                        } else {
+                            p.flag_before += 1;
+                        }
+                        flag_reqs.push(Request::new(id, since));
+                    }
+                    _ => {}
+                }
+            }
+
+            // Serve at most one barrier-variable access.
+            if let Some(winner) = var_module.arbitrate(&var_reqs, &mut rng) {
+                barrier_count += 1;
+                let i = barrier_count;
+                let p = &mut procs[winner];
+                if i == n {
+                    p.phase = Phase::FlagWrite { since: now + 1 };
+                } else {
+                    let wait = self.policy.variable_wait(n, i);
+                    p.phase = if wait == 0 {
+                        Phase::FlagPoll { since: now + 1 }
+                    } else {
+                        Phase::Waiting {
+                            until: now + 1 + wait,
+                        }
+                    };
+                }
+            }
+
+            // Serve at most one flag access.
+            if let Some(winner) = flag_module.arbitrate(&flag_reqs, &mut rng) {
+                let set = flag_set_at.is_some_and(|t| now >= t);
+                let phase = procs[winner].phase;
+                match phase {
+                    Phase::FlagWrite { .. } => {
+                        flag_set_at = Some(now);
+                        let p = &mut procs[winner];
+                        p.phase = Phase::Done;
+                        p.done_at = now;
+                        done += 1;
+                        // Wake everything already parked.
+                        let wake = now + self.policy.wake_cost();
+                        for q in procs.iter_mut() {
+                            if q.phase == Phase::Queued {
+                                q.phase = Phase::Done;
+                                q.done_at = wake;
+                                // The wake-up notification / refetch is one
+                                // more network transaction.
+                                q.flag_after += 1;
+                                done += 1;
+                            }
+                        }
+                    }
+                    Phase::FlagPoll { .. } => {
+                        let p = &mut procs[winner];
+                        if set {
+                            p.phase = Phase::Done;
+                            p.done_at = now;
+                            done += 1;
+                        } else {
+                            p.polls += 1;
+                            match self.policy.sampled_flag_delay(p.polls, &mut rng) {
+                                Some(0) => {
+                                    p.phase = Phase::FlagPoll { since: now + 1 };
+                                }
+                                Some(d) => {
+                                    p.phase = Phase::Waiting { until: now + 1 + d };
+                                }
+                                None => {
+                                    // Park; the enqueue operation itself is a
+                                    // network transaction.
+                                    p.phase = Phase::Queued;
+                                    p.was_queued = true;
+                                    p.flag_before += 1;
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("only flag requesters are served by the flag module"),
+                }
+            }
+
+            // Advance time, skipping dead cycles.
+            let any_requesting = procs.iter().any(|p| {
+                matches!(
+                    p.phase,
+                    Phase::VarRequest { .. } | Phase::FlagPoll { .. } | Phase::FlagWrite { .. }
+                )
+            });
+            if any_requesting {
+                now += 1;
+            } else if done < n {
+                let next = procs
+                    .iter()
+                    .filter_map(|p| match p.phase {
+                        Phase::NotArrived => Some(p.arrival),
+                        Phase::Waiting { until } => Some(until),
+                        _ => None,
+                    })
+                    .min()
+                    .expect("undone processors must have a next event");
+                now = next.max(now + 1);
+            }
+        }
+
+        let accesses: Vec<u64> = procs
+            .iter()
+            .map(|p| p.var_accesses + p.flag_before + p.flag_after)
+            .collect();
+        let waiting: Vec<u64> = procs.iter().map(|p| p.done_at - p.arrival).collect();
+        let completion = procs.iter().map(|p| p.done_at).max().unwrap_or(0);
+        BarrierRun {
+            n,
+            var_accesses: procs.iter().map(|p| p.var_accesses).sum(),
+            flag_before: procs.iter().map(|p| p.flag_before).sum(),
+            flag_after: procs.iter().map(|p| p.flag_after).sum(),
+            queued: procs.iter().filter(|p| p.was_queued).count(),
+            flag_set_at: flag_set_at.expect("flag must be set before completion"),
+            completion,
+            accesses,
+            waiting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_sim::sweep::derive_seed;
+
+    fn mean_over_runs(
+        config: BarrierConfig,
+        policy: BackoffPolicy,
+        reps: u32,
+        metric: impl Fn(&BarrierRun) -> f64,
+    ) -> f64 {
+        let sim = BarrierSim::new(config, policy);
+        (0..reps)
+            .map(|i| metric(&sim.run(derive_seed(0xBA55, i as u64))))
+            .sum::<f64>()
+            / reps as f64
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let sim = BarrierSim::new(BarrierConfig::new(32, 100), BackoffPolicy::exponential(2));
+        assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn single_processor_trivial_barrier() {
+        let run = BarrierSim::new(BarrierConfig::new(1, 0), BackoffPolicy::None).run(1);
+        // One variable access, one flag write.
+        assert_eq!(run.total_accesses(), 2);
+        assert_eq!(run.accesses(), &[2]);
+        assert_eq!(run.queued(), 0);
+    }
+
+    #[test]
+    fn two_processors_simultaneous() {
+        let run = BarrierSim::new(BarrierConfig::new(2, 0), BackoffPolicy::None).run(3);
+        assert_eq!(run.accesses().len(), 2);
+        // Everyone passes; waits are positive.
+        assert!(run.waiting().iter().all(|&w| w > 0));
+        assert!(run.completion() >= run.flag_set_at());
+    }
+
+    #[test]
+    fn model1_shape_no_backoff() {
+        // Paper, Section 6.2: at A = 0 accesses grow as 5N/2.
+        for n in [16usize, 64] {
+            let mean = mean_over_runs(BarrierConfig::new(n, 0), BackoffPolicy::None, 20, |r| {
+                r.mean_accesses()
+            });
+            let model = 2.5 * n as f64;
+            assert!(
+                (mean - model).abs() < model * 0.2,
+                "n={n}: mean {mean} vs model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_64_processor_breakdown() {
+        // "for the 64 processor case, a processor on average accessed the
+        // network 32 times to get at the barrier variable, 96 times to test
+        // the flag before it was set, and 32 times after it was set".
+        let cfg = BarrierConfig::new(64, 0);
+        let var = mean_over_runs(cfg, BackoffPolicy::None, 30, |r| r.mean_var_accesses());
+        let before = mean_over_runs(cfg, BackoffPolicy::None, 30, |r| r.mean_flag_before());
+        let after = mean_over_runs(cfg, BackoffPolicy::None, 30, |r| r.mean_flag_after());
+        assert!((var - 32.0).abs() < 8.0, "var {var}");
+        assert!((before - 96.0).abs() < 30.0, "before {before}");
+        assert!((after - 32.0).abs() < 10.0, "after {after}");
+    }
+
+    #[test]
+    fn variable_backoff_saves_at_a0() {
+        // "With backoff on the barrier variable this number reduced to
+        // roughly 132, a 15% reduction" (N = 64, A = 0).
+        let cfg = BarrierConfig::new(64, 0);
+        let plain = mean_over_runs(cfg, BackoffPolicy::None, 30, |r| r.mean_accesses());
+        let backoff = mean_over_runs(cfg, BackoffPolicy::on_variable(), 30, |r| {
+            r.mean_accesses()
+        });
+        let reduction = 1.0 - backoff / plain;
+        assert!(
+            (0.05..0.3).contains(&reduction),
+            "plain {plain} backoff {backoff} reduction {reduction}"
+        );
+    }
+
+    #[test]
+    fn flag_backoff_useless_at_a0() {
+        // "using binary backoff ... on the barrier flag made no difference
+        // because everyone reaches the barrier at the same time".
+        let cfg = BarrierConfig::new(64, 0);
+        let var_only = mean_over_runs(cfg, BackoffPolicy::on_variable(), 30, |r| {
+            r.mean_accesses()
+        });
+        let binary = mean_over_runs(cfg, BackoffPolicy::exponential(2), 30, |r| {
+            r.mean_accesses()
+        });
+        assert!(
+            (var_only - binary).abs() < var_only * 0.15,
+            "var-only {var_only} binary {binary}"
+        );
+    }
+
+    #[test]
+    fn exponential_backoff_dramatic_savings_large_a() {
+        // "In the 16 processor case with a binary backoff on the flag ...
+        // over 95% savings in network accesses" (A = 1000).
+        let cfg = BarrierConfig::new(16, 1000);
+        let plain = mean_over_runs(cfg, BackoffPolicy::None, 20, |r| r.mean_accesses());
+        let binary = mean_over_runs(cfg, BackoffPolicy::exponential(2), 20, |r| {
+            r.mean_accesses()
+        });
+        let saving = 1.0 - binary / plain;
+        assert!(saving > 0.9, "plain {plain} binary {binary} saving {saving}");
+    }
+
+    #[test]
+    fn backoff_overshoot_increases_waiting_large_a() {
+        // Figure 10: base-8 backoff inflates waiting times at N = 64,
+        // A = 1000 (paper: 576 -> 2048 cycles).
+        let cfg = BarrierConfig::new(64, 1000);
+        let plain = mean_over_runs(cfg, BackoffPolicy::None, 20, |r| r.mean_waiting());
+        let base8 = mean_over_runs(cfg, BackoffPolicy::exponential(8), 20, |r| {
+            r.mean_waiting()
+        });
+        assert!(
+            base8 > plain * 1.5,
+            "plain wait {plain} base8 wait {base8}"
+        );
+    }
+
+    #[test]
+    fn queue_policy_parks_early_arrivers() {
+        let cfg = BarrierConfig::new(16, 5_000);
+        let policy = BackoffPolicy::QueueOnThreshold {
+            base: 2,
+            threshold: 64,
+            wake_cost: 200,
+        };
+        let run = BarrierSim::new(cfg, policy).run(5);
+        assert!(run.queued() > 0, "someone should park in a 5000-cycle span");
+        // Parked processes still finish, at flag_set + wake_cost.
+        assert_eq!(run.completion(), run.flag_set_at() + 200);
+    }
+
+    #[test]
+    fn waiting_time_consistency() {
+        let run = BarrierSim::new(BarrierConfig::new(32, 100), BackoffPolicy::None).run(2);
+        // The flag writer necessarily finishes first.
+        let min_wait_end = run.flag_set_at();
+        assert!(run.completion() >= min_wait_end);
+        // All processes record nonzero accesses.
+        assert!(run.accesses().iter().all(|&a| a >= 2));
+    }
+
+    #[test]
+    fn accesses_decrease_then_contention_dominates() {
+        // Figure 7 shape: at A = 1000 the exponential curves are far below
+        // the no-backoff curve for small N, but the relative gap narrows
+        // for very large N.
+        let small = BarrierConfig::new(16, 1000);
+        let plain_small = mean_over_runs(small, BackoffPolicy::None, 10, |r| r.mean_accesses());
+        let b8_small = mean_over_runs(small, BackoffPolicy::exponential(8), 10, |r| {
+            r.mean_accesses()
+        });
+        let big = BarrierConfig::new(512, 1000);
+        let plain_big = mean_over_runs(big, BackoffPolicy::None, 5, |r| r.mean_accesses());
+        let b8_big = mean_over_runs(big, BackoffPolicy::exponential(8), 5, |r| {
+            r.mean_accesses()
+        });
+        let saving_small = 1.0 - b8_small / plain_small;
+        let saving_big = 1.0 - b8_big / plain_big;
+        assert!(saving_small > saving_big, "{saving_small} vs {saving_big}");
+    }
+
+    #[test]
+    fn oldest_first_arbitration_also_completes() {
+        let cfg =
+            BarrierConfig::new(32, 100).with_arbitration(Arbitration::OldestFirst);
+        let run = BarrierSim::new(cfg, BackoffPolicy::None).run(1);
+        assert_eq!(run.accesses().len(), 32);
+    }
+
+    #[test]
+    fn round_robin_arbitration_also_completes() {
+        let cfg =
+            BarrierConfig::new(32, 100).with_arbitration(Arbitration::RoundRobin);
+        let run = BarrierSim::new(cfg, BackoffPolicy::exponential(4)).run(1);
+        assert_eq!(run.accesses().len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        BarrierConfig::new(0, 10);
+    }
+}

@@ -1,0 +1,520 @@
+//! Software combining-tree barriers with backoff at intermediate nodes.
+//!
+//! Section 8: "For software-tree based implementations of barriers on
+//! non-cache-coherent multiprocessors as suggested by Yew, Tseng, and
+//! Lawrie, our methods can still be used to reduce the spins on the
+//! intermediate nodes of the tree." And Section 6.2 notes that for very
+//! large `N` "barrier synchronization is probably inappropriate anyway
+//! without some form of distributed software combining".
+//!
+//! The tree: processors are partitioned into groups of `degree` at the
+//! leaves; each tree node is a little Tang–Yew barrier (variable + flag)
+//! living in its **own** pair of memory modules, so contention is confined
+//! to `degree` participants per node. The last arriver at a node climbs to
+//! the parent; the root's last arriver sets the root flag, and each climber,
+//! once released from above, sets the flag of the node it climbed from,
+//! releasing its siblings — release propagates down the tree.
+
+use abs_net::module::{Arbitration, MemoryModule, Request};
+use abs_sim::rng::Xoshiro256PlusPlus;
+
+use crate::policy::BackoffPolicy;
+
+/// Static parameters of a combining-tree barrier episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CombiningConfig {
+    /// Number of synchronizing processors.
+    pub n: usize,
+    /// Arrival interval in cycles.
+    pub span: u64,
+    /// Fan-in of each tree node (`>= 2`).
+    pub degree: usize,
+}
+
+impl CombiningConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `degree < 2`.
+    pub fn new(n: usize, span: u64, degree: usize) -> Self {
+        assert!(n > 0, "at least one processor required");
+        assert!(degree >= 2, "tree degree must be at least 2");
+        Self { n, span, degree }
+    }
+}
+
+/// A node of the combining tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Parent node index, `None` for the root.
+    parent: Option<usize>,
+    /// Number of participants expected (children count, or leaf group
+    /// size).
+    expected: usize,
+    /// Current fetch-and-add count.
+    count: usize,
+    /// Whether the release flag is set.
+    flag: bool,
+    var_module: MemoryModule,
+    flag_module: MemoryModule,
+}
+
+/// Builds the node list for `n` processors with the given fan-in. Returns
+/// `(nodes, leaf_of_processor)`.
+fn build_tree(n: usize, degree: usize) -> (Vec<Node>, Vec<usize>) {
+    let new_node = |parent, expected| Node {
+        parent,
+        expected,
+        count: 0,
+        flag: false,
+        var_module: MemoryModule::new(Arbitration::Random),
+        flag_module: MemoryModule::new(Arbitration::Random),
+    };
+    let mut nodes: Vec<Node> = Vec::new();
+    // Leaf level: group processors.
+    let leaf_count = n.div_ceil(degree);
+    let mut leaf_of = vec![0usize; n];
+    for (p, leaf) in leaf_of.iter_mut().enumerate() {
+        *leaf = p / degree;
+    }
+    for leaf in 0..leaf_count {
+        let members = ((leaf + 1) * degree).min(n) - leaf * degree;
+        nodes.push(new_node(None, members));
+    }
+    // Upper levels: group nodes of the previous level.
+    let mut level_start = 0usize;
+    let mut level_len = leaf_count;
+    while level_len > 1 {
+        let next_len = level_len.div_ceil(degree);
+        let next_start = nodes.len();
+        for g in 0..next_len {
+            let members = ((g + 1) * degree).min(level_len) - g * degree;
+            nodes.push(new_node(None, members));
+        }
+        for i in 0..level_len {
+            nodes[level_start + i].parent = Some(next_start + i / degree);
+        }
+        level_start = next_start;
+        level_len = next_len;
+    }
+    (nodes, leaf_of)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    NotArrived,
+    VarReq { node: usize, since: u64 },
+    VarWait { node: usize, until: u64 },
+    FlagPoll { node: usize, since: u64, polls: u32 },
+    FlagWait { node: usize, until: u64, polls: u32 },
+    Release { since: u64 },
+    Done,
+}
+
+/// The result of one combining-tree barrier episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombiningRun {
+    accesses: Vec<u64>,
+    waiting: Vec<u64>,
+    completion: u64,
+    max_module_accesses: u64,
+    nodes: usize,
+}
+
+impl CombiningRun {
+    /// Network accesses per processor.
+    pub fn accesses(&self) -> &[u64] {
+        &self.accesses
+    }
+
+    /// Cycles from arrival to release, per processor.
+    pub fn waiting(&self) -> &[u64] {
+        &self.waiting
+    }
+
+    /// Mean accesses per processor.
+    pub fn mean_accesses(&self) -> f64 {
+        self.accesses.iter().map(|&a| a as f64).sum::<f64>() / self.accesses.len() as f64
+    }
+
+    /// Mean waiting time per processor.
+    pub fn mean_waiting(&self) -> f64 {
+        self.waiting.iter().map(|&w| w as f64).sum::<f64>() / self.waiting.len() as f64
+    }
+
+    /// Cycle at which the last processor was released.
+    pub fn completion(&self) -> u64 {
+        self.completion
+    }
+
+    /// The heaviest per-module access count — the hot-spot measure that the
+    /// tree is supposed to flatten relative to a single flag module.
+    pub fn max_module_accesses(&self) -> u64 {
+        self.max_module_accesses
+    }
+
+    /// Number of tree nodes used.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+/// Simulator of a combining-tree barrier under a backoff policy.
+///
+/// # Examples
+///
+/// ```
+/// use abs_core::combining::{CombiningConfig, CombiningTreeSim};
+/// use abs_core::BackoffPolicy;
+///
+/// let sim = CombiningTreeSim::new(CombiningConfig::new(64, 100, 4), BackoffPolicy::None);
+/// let run = sim.run(1);
+/// assert_eq!(run.accesses().len(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombiningTreeSim {
+    config: CombiningConfig,
+    policy: BackoffPolicy,
+}
+
+impl CombiningTreeSim {
+    /// Creates a simulator.
+    pub fn new(config: CombiningConfig, policy: BackoffPolicy) -> Self {
+        Self { config, policy }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> CombiningConfig {
+        self.config
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BackoffPolicy {
+        self.policy
+    }
+
+    /// Simulates one episode.
+    pub fn run(&self, seed: u64) -> CombiningRun {
+        let n = self.config.n;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let arrivals = rng.uniform_arrivals(n, self.config.span);
+        let (mut nodes, leaf_of) = build_tree(n, self.config.degree);
+
+        let mut phases: Vec<Phase> = vec![Phase::NotArrived; n];
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut accesses = vec![0u64; n];
+        let mut done_at = vec![0u64; n];
+
+        let mut now = arrivals[0];
+        let mut done = 0usize;
+        // Per-node request staging: (node, proc, since) triples rebuilt each
+        // cycle.
+        let mut var_reqs: Vec<Vec<Request>> = vec![Vec::new(); nodes.len()];
+        let mut flag_reqs: Vec<Vec<Request>> = vec![Vec::new(); nodes.len()];
+
+        while done < n {
+            // Activate arrivals and expired waits.
+            for (id, phase) in phases.iter_mut().enumerate() {
+                match phase.clone() {
+                    Phase::NotArrived if arrivals[id] <= now => {
+                        *phase = Phase::VarReq {
+                            node: leaf_of[id],
+                            since: now,
+                        };
+                    }
+                    Phase::VarWait { node, until } if until <= now => {
+                        *phase = Phase::FlagPoll {
+                            node,
+                            since: now,
+                            polls: 0,
+                        };
+                    }
+                    Phase::FlagWait { node, until, polls } if until <= now => {
+                        *phase = Phase::FlagPoll {
+                            node,
+                            since: now,
+                            polls,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+
+            // Stage requests per node.
+            for list in var_reqs.iter_mut().chain(flag_reqs.iter_mut()) {
+                list.clear();
+            }
+            for (id, phase) in phases.iter().enumerate() {
+                match *phase {
+                    Phase::VarReq { node, since } => {
+                        accesses[id] += 1;
+                        var_reqs[node].push(Request::new(id, since));
+                    }
+                    Phase::FlagPoll { node, since, .. } => {
+                        accesses[id] += 1;
+                        flag_reqs[node].push(Request::new(id, since));
+                    }
+                    Phase::Release { since } => {
+                        accesses[id] += 1;
+                        let node = *owned[id].last().expect("release implies owned node");
+                        flag_reqs[node].push(Request::new(id, since));
+                    }
+                    _ => {}
+                }
+            }
+
+            // Arbitrate each node independently (they live in distinct
+            // modules).
+            for v in 0..nodes.len() {
+                if let Some(winner) = {
+                    let node = &mut nodes[v];
+                    node.var_module.arbitrate(&var_reqs[v], &mut rng)
+                } {
+                    nodes[v].count += 1;
+                    let i = nodes[v].count;
+                    let expected = nodes[v].expected;
+                    if i == expected {
+                        owned[winner].push(v);
+                        match nodes[v].parent {
+                            Some(parent) => {
+                                phases[winner] = Phase::VarReq {
+                                    node: parent,
+                                    since: now + 1,
+                                };
+                            }
+                            None => {
+                                // Root winner: release downwards.
+                                phases[winner] = Phase::Release { since: now + 1 };
+                            }
+                        }
+                    } else {
+                        let wait = self.policy.variable_wait(expected, i);
+                        phases[winner] = if wait == 0 {
+                            Phase::FlagPoll {
+                                node: v,
+                                since: now + 1,
+                                polls: 0,
+                            }
+                        } else {
+                            Phase::VarWait {
+                                node: v,
+                                until: now + 1 + wait,
+                            }
+                        };
+                    }
+                }
+
+                if let Some(winner) = {
+                    let node = &mut nodes[v];
+                    node.flag_module.arbitrate(&flag_reqs[v], &mut rng)
+                } {
+                    match phases[winner].clone() {
+                        Phase::Release { .. } => {
+                            nodes[v].flag = true;
+                            owned[winner].pop();
+                            if owned[winner].is_empty() {
+                                phases[winner] = Phase::Done;
+                                done_at[winner] = now;
+                                done += 1;
+                            } else {
+                                phases[winner] = Phase::Release { since: now + 1 };
+                            }
+                        }
+                        Phase::FlagPoll { node, polls, .. } => {
+                            debug_assert_eq!(node, v);
+                            if nodes[v].flag {
+                                // Released: propagate down whatever we own.
+                                if owned[winner].is_empty() {
+                                    phases[winner] = Phase::Done;
+                                    done_at[winner] = now;
+                                    done += 1;
+                                } else {
+                                    phases[winner] = Phase::Release { since: now + 1 };
+                                }
+                            } else {
+                                let polls = polls + 1;
+                                match self.policy.flag_delay(polls) {
+                                    Some(0) | None => {
+                                        // The queue variant degenerates to
+                                        // continuous polling inside a tree
+                                        // node; parking is a flat-barrier
+                                        // concept.
+                                        phases[winner] = Phase::FlagPoll {
+                                            node: v,
+                                            since: now + 1,
+                                            polls,
+                                        };
+                                    }
+                                    Some(d) => {
+                                        phases[winner] = Phase::FlagWait {
+                                            node: v,
+                                            until: now + 1 + d,
+                                            polls,
+                                        };
+                                    }
+                                }
+                            }
+                        }
+                        _ => unreachable!("only pollers and releasers are served"),
+                    }
+                }
+            }
+
+            let any_requesting = phases.iter().any(|p| {
+                matches!(
+                    p,
+                    Phase::VarReq { .. } | Phase::FlagPoll { .. } | Phase::Release { .. }
+                )
+            });
+            if any_requesting {
+                now += 1;
+            } else if done < n {
+                let next = phases
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(id, p)| match *p {
+                        Phase::NotArrived => Some(arrivals[id]),
+                        Phase::VarWait { until, .. } => Some(until),
+                        Phase::FlagWait { until, .. } => Some(until),
+                        _ => None,
+                    })
+                    .min()
+                    .expect("pending processors must have a next event");
+                now = next.max(now + 1);
+            }
+        }
+
+        let max_module_accesses = nodes
+            .iter()
+            .flat_map(|nd| [nd.var_module.presented(), nd.flag_module.presented()])
+            .max()
+            .unwrap_or(0);
+        let waiting: Vec<u64> = (0..n).map(|i| done_at[i] - arrivals[i]).collect();
+        CombiningRun {
+            accesses,
+            waiting,
+            completion: done_at.iter().copied().max().unwrap_or(0),
+            max_module_accesses,
+            nodes: nodes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barrier::{BarrierConfig, BarrierSim};
+    use abs_sim::sweep::derive_seed;
+
+    #[test]
+    fn tree_shape_small() {
+        let (nodes, leaf_of) = build_tree(8, 2);
+        // 4 leaves + 2 + 1 root = 7 nodes.
+        assert_eq!(nodes.len(), 7);
+        assert_eq!(leaf_of, [0, 0, 1, 1, 2, 2, 3, 3]);
+        assert!(nodes.last().unwrap().parent.is_none());
+        assert!(nodes[..6].iter().all(|n| n.parent.is_some()));
+    }
+
+    #[test]
+    fn tree_shape_uneven() {
+        let (nodes, _) = build_tree(5, 4);
+        // 2 leaves (sizes 4 and 1) + root of 2.
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0].expected, 4);
+        assert_eq!(nodes[1].expected, 1);
+        assert_eq!(nodes[2].expected, 2);
+    }
+
+    #[test]
+    fn tree_single_group_is_root() {
+        let (nodes, _) = build_tree(4, 8);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].expected, 4);
+        assert!(nodes[0].parent.is_none());
+    }
+
+    #[test]
+    fn expected_counts_sum_to_participants() {
+        for (n, d) in [(64usize, 4usize), (100, 3), (7, 2), (1, 2)] {
+            let (nodes, _) = build_tree(n, d);
+            let total: usize = nodes.iter().map(|nd| nd.expected).sum();
+            // Every processor participates once at a leaf, every non-root
+            // node contributes one climber to its parent.
+            assert_eq!(total, n + nodes.len() - 1, "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let sim = CombiningTreeSim::new(CombiningConfig::new(32, 100, 4), BackoffPolicy::None);
+        assert_eq!(sim.run(2), sim.run(2));
+    }
+
+    #[test]
+    fn all_processors_released() {
+        for n in [1usize, 2, 3, 17, 64] {
+            let sim =
+                CombiningTreeSim::new(CombiningConfig::new(n, 50, 4), BackoffPolicy::None);
+            let run = sim.run(3);
+            assert_eq!(run.accesses().len(), n);
+            assert!(run.accesses().iter().all(|&a| a > 0));
+        }
+    }
+
+    #[test]
+    fn tree_flattens_the_hot_spot() {
+        // The whole point of combining: the heaviest module sees far fewer
+        // accesses than a flat barrier's flag module.
+        let n = 256;
+        let seed = derive_seed(0xC0, 1);
+        let flat = BarrierSim::new(BarrierConfig::new(n, 0), BackoffPolicy::None).run(seed);
+        let tree = CombiningTreeSim::new(
+            CombiningConfig::new(n, 0, 4),
+            BackoffPolicy::None,
+        )
+        .run(seed);
+        // Flat: all ~5N/2 * N accesses hit two modules; tree: split over
+        // many nodes.
+        let flat_per_module = flat.total_accesses() / 2;
+        assert!(
+            tree.max_module_accesses() < flat_per_module / 4,
+            "tree max {} flat per-module {}",
+            tree.max_module_accesses(),
+            flat_per_module
+        );
+    }
+
+    #[test]
+    fn backoff_reduces_tree_accesses() {
+        let cfg = CombiningConfig::new(64, 1000, 4);
+        let mean = |policy: BackoffPolicy| {
+            let sim = CombiningTreeSim::new(cfg, policy);
+            (0..10)
+                .map(|i| sim.run(derive_seed(9, i)).mean_accesses())
+                .sum::<f64>()
+                / 10.0
+        };
+        let plain = mean(BackoffPolicy::None);
+        let backoff = mean(BackoffPolicy::exponential(2));
+        assert!(
+            backoff < plain,
+            "plain {plain} backoff {backoff}"
+        );
+    }
+
+    #[test]
+    fn waiting_time_positive_and_bounded() {
+        let sim = CombiningTreeSim::new(CombiningConfig::new(16, 0, 4), BackoffPolicy::None);
+        let run = sim.run(5);
+        assert!(run.mean_waiting() > 0.0);
+        assert!(run.completion() >= run.waiting().iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_one_rejected() {
+        CombiningConfig::new(8, 0, 1);
+    }
+}

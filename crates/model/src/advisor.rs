@@ -1,0 +1,129 @@
+//! Policy advisor: the paper's Section-7/8 guidance as executable logic.
+//!
+//! Section 7.1 summarizes the tradeoff: when the number of synchronizing
+//! processors is *small compared to the arrival interval*, flag backoff with
+//! a small base saves most traffic at negligible idle cost; when `N` is
+//! large and arrivals are tight, one pays either in accesses or idle time;
+//! and when the expected backoff grows past a threshold, it is better to
+//! enqueue the process on a condition variable (Section 7: "if the backoff
+//! amount crosses some preset threshold, then it might be worthwhile to
+//! place the process on a queue pending the arrival of the last process").
+
+use crate::barrier::expected_span;
+
+/// What the advisor recommends for a barrier with estimated parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Recommendation {
+    /// Arrivals tight relative to `N`: backoff on the barrier variable only
+    /// (flag backoff cannot help when everyone arrives together).
+    VariableOnly,
+    /// Arrivals spread: exponential backoff on the flag with the given base
+    /// (on top of variable backoff).
+    ExponentialFlag {
+        /// Suggested exponential base.
+        base: u64,
+    },
+    /// Expected spin so long that blocking wins: queue the process after the
+    /// backoff delay crosses `threshold` cycles.
+    QueueAfter {
+        /// Backoff-delay threshold beyond which to enqueue.
+        threshold: u64,
+    },
+}
+
+/// Recommends a backoff configuration for a barrier of `n` processors whose
+/// arrivals are estimated to spread over `a` cycles, given the cost of a
+/// blocking enqueue/dequeue pair in cycles.
+///
+/// Heuristics distilled from Sections 6–8:
+///
+/// * `span ≤ N` — contention-dominated; only variable backoff helps.
+/// * `N < span ≤ 32·enqueue_cost` — exponential flag backoff; base 2 when
+///   utilization matters (`span < 8N`, overshoot risk), base 8 when traffic
+///   dominates.
+/// * expected wait beyond `4·enqueue_cost` — park the process instead.
+///
+/// # Examples
+///
+/// ```
+/// use abs_model::advisor::{recommend, Recommendation};
+/// // 64 processors arriving within ~64 cycles: spread is too small for
+/// // flag backoff to bite.
+/// assert_eq!(recommend(64, 50.0, 1000), Recommendation::VariableOnly);
+/// // Wide arrival window: exponential backoff pays.
+/// assert!(matches!(
+///     recommend(16, 1000.0, 100_000),
+///     Recommendation::ExponentialFlag { .. }
+/// ));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn recommend(n: usize, a: f64, enqueue_cost: u64) -> Recommendation {
+    assert!(n > 0, "at least one processor required");
+    let span = expected_span(a, n);
+    let n_f = n as f64;
+    // Expected solo-spin time is about half the span; if that dwarfs the
+    // cost of sleeping, sleep.
+    if span / 2.0 > 4.0 * enqueue_cost as f64 {
+        return Recommendation::QueueAfter {
+            threshold: enqueue_cost,
+        };
+    }
+    if span <= n_f {
+        return Recommendation::VariableOnly;
+    }
+    let base = if span < 8.0 * n_f { 2 } else { 8 };
+    Recommendation::ExponentialFlag { base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_arrivals_variable_only() {
+        assert_eq!(recommend(512, 100.0, 10_000), Recommendation::VariableOnly);
+        assert_eq!(recommend(64, 0.0, 10_000), Recommendation::VariableOnly);
+    }
+
+    #[test]
+    fn moderate_spread_small_base() {
+        assert_eq!(
+            recommend(64, 400.0, 100_000),
+            Recommendation::ExponentialFlag { base: 2 }
+        );
+    }
+
+    #[test]
+    fn wide_spread_large_base() {
+        assert_eq!(
+            recommend(16, 5_000.0, 1_000_000),
+            Recommendation::ExponentialFlag { base: 8 }
+        );
+    }
+
+    #[test]
+    fn extreme_spread_queues() {
+        assert_eq!(
+            recommend(16, 10_000_000.0, 100),
+            Recommendation::QueueAfter { threshold: 100 }
+        );
+    }
+
+    #[test]
+    fn cheap_enqueue_prefers_queueing_sooner() {
+        // Same workload; only the enqueue cost changes the verdict.
+        let spin = recommend(16, 50_000.0, 1_000_000);
+        let park = recommend(16, 50_000.0, 10);
+        assert!(matches!(spin, Recommendation::ExponentialFlag { .. }));
+        assert!(matches!(park, Recommendation::QueueAfter { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        recommend(0, 100.0, 10);
+    }
+}

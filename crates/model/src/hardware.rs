@@ -1,0 +1,116 @@
+//! Hardware-supported barrier baselines (Section 5.1).
+//!
+//! The paper compares software backoff against four schemes that need extra
+//! hardware:
+//!
+//! * **Invalidating bus** — `3n + 1` accesses per barrier: `n` fetches of
+//!   the barrier variable, `n` invalidations for the `n` writes, `n` fetches
+//!   of the flag, plus one global invalidation from the flag write — roughly
+//!   3 accesses per processor.
+//! * **Updating bus** (or fetch-with-intent-to-write) — `n` fewer, roughly
+//!   2 per processor.
+//! * **Limited directory** — like the bus but without broadcast, paying an
+//!   extra `n` individual invalidations on the final flag write: 4 per
+//!   processor.
+//! * **Hoshino global-synchronization gate** (PAX) — `n` accesses to the
+//!   gate plus a single broadcast: 1 per processor.
+
+/// A hardware-supported barrier scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardwareScheme {
+    /// Snoopy bus with broadcast invalidations.
+    InvalidatingBus,
+    /// Snoopy bus with broadcast updates.
+    UpdatingBus,
+    /// Directory-based coherence without broadcast capability.
+    Directory,
+    /// The PAX global-synchronization gate.
+    HoshinoGate,
+}
+
+impl HardwareScheme {
+    /// All schemes, in the order the paper discusses them.
+    pub const ALL: [HardwareScheme; 4] = [
+        HardwareScheme::InvalidatingBus,
+        HardwareScheme::UpdatingBus,
+        HardwareScheme::Directory,
+        HardwareScheme::HoshinoGate,
+    ];
+
+    /// Total bus/network accesses for one barrier episode among `n`
+    /// processors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abs_model::hardware::HardwareScheme;
+    /// assert_eq!(HardwareScheme::InvalidatingBus.total_accesses(64), 193);
+    /// assert_eq!(HardwareScheme::HoshinoGate.total_accesses(64), 65);
+    /// ```
+    pub fn total_accesses(&self, n: usize) -> u64 {
+        let n = n as u64;
+        match self {
+            HardwareScheme::InvalidatingBus => 3 * n + 1,
+            HardwareScheme::UpdatingBus => 2 * n + 1,
+            HardwareScheme::Directory => 4 * n,
+            HardwareScheme::HoshinoGate => n + 1,
+        }
+    }
+
+    /// Approximate accesses per processor per barrier, the figure the paper
+    /// quotes (3, 2, 4 and 1 respectively).
+    pub fn per_processor(&self, n: usize) -> f64 {
+        self.total_accesses(n) as f64 / n as f64
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HardwareScheme::InvalidatingBus => "invalidating bus",
+            HardwareScheme::UpdatingBus => "updating bus",
+            HardwareScheme::Directory => "limited directory",
+            HardwareScheme::HoshinoGate => "Hoshino gate",
+        }
+    }
+}
+
+impl std::fmt::Display for HardwareScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_processor_matches_paper_quotes() {
+        let n = 1024; // large n so the +1 terms vanish
+        assert!((HardwareScheme::InvalidatingBus.per_processor(n) - 3.0).abs() < 0.01);
+        assert!((HardwareScheme::UpdatingBus.per_processor(n) - 2.0).abs() < 0.01);
+        assert!((HardwareScheme::Directory.per_processor(n) - 4.0).abs() < 0.01);
+        assert!((HardwareScheme::HoshinoGate.per_processor(n) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ordering_of_schemes() {
+        // Hoshino < updating < invalidating < directory for any n.
+        for n in [2usize, 16, 64, 512] {
+            let h = HardwareScheme::HoshinoGate.total_accesses(n);
+            let u = HardwareScheme::UpdatingBus.total_accesses(n);
+            let i = HardwareScheme::InvalidatingBus.total_accesses(n);
+            let d = HardwareScheme::Directory.total_accesses(n);
+            assert!(h < u && u < i && i <= d, "n={n}");
+        }
+    }
+
+    #[test]
+    fn names_unique_and_display() {
+        let mut names: Vec<&str> = HardwareScheme::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert_eq!(HardwareScheme::HoshinoGate.to_string(), "Hoshino gate");
+    }
+}

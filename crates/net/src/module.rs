@@ -1,0 +1,311 @@
+//! The Section-3 memory-module contention model.
+//!
+//! > "We assume that in a network cycle only one processor can access the
+//! > barrier variable or the barrier flag. If a processor is denied access to
+//! > the variable in a network cycle it repeats the access to the variable in
+//! > the next network cycle."
+//!
+//! [`MemoryModule`] arbitrates among the set of requesters present in a
+//! cycle and picks exactly one winner. The paper does not spell out the
+//! arbitration rule; its Model-1 access counts (the flag writer needing ~N
+//! attempts against N−1 pollers) imply *memoryless random* selection, which
+//! is therefore the default. Round-robin and oldest-first are provided for
+//! the ablation study.
+
+use abs_sim::rng::Xoshiro256PlusPlus;
+
+/// How a memory module picks one winner among simultaneous requesters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Arbitration {
+    /// Uniformly random winner each cycle (the paper's implicit model).
+    #[default]
+    Random,
+    /// Rotating priority: the requester with the smallest
+    /// `(id - last_winner - 1) mod n` wins.
+    RoundRobin,
+    /// The requester that has been waiting the longest wins; ties broken by
+    /// lowest id. This models a queueing (combining-free) memory controller.
+    OldestFirst,
+}
+
+impl Arbitration {
+    /// All supported policies, for sweeps.
+    pub const ALL: [Arbitration; 3] = [
+        Arbitration::Random,
+        Arbitration::RoundRobin,
+        Arbitration::OldestFirst,
+    ];
+}
+
+/// A pending request presented to a module in some cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Requester (processor) identifier. Used by round-robin arbitration.
+    pub id: usize,
+    /// The cycle at which this request first became pending. Used by
+    /// oldest-first arbitration.
+    pub since: u64,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(id: usize, since: u64) -> Self {
+        Self { id, since }
+    }
+}
+
+/// A single-ported memory module: serves one request per cycle.
+///
+/// The module also keeps the access statistics that the paper reports:
+/// every *presented* request counts as a network access whether or not it is
+/// served ("an unsuccessful network access in accessing the barrier flag is
+/// still counted as a network access").
+///
+/// # Examples
+///
+/// ```
+/// use abs_net::module::{Arbitration, MemoryModule, Request};
+/// use abs_sim::rng::Xoshiro256PlusPlus;
+///
+/// let mut module = MemoryModule::new(Arbitration::Random);
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let winner = module.arbitrate(
+///     &[Request::new(0, 0), Request::new(1, 0)],
+///     &mut rng,
+/// );
+/// assert!(winner.is_some());
+/// assert_eq!(module.presented(), 2);
+/// assert_eq!(module.served(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryModule {
+    policy: Arbitration,
+    last_winner: Option<usize>,
+    presented: u64,
+    served: u64,
+    busy_cycles: u64,
+}
+
+impl MemoryModule {
+    /// Creates a module with the given arbitration policy.
+    pub fn new(policy: Arbitration) -> Self {
+        Self {
+            policy,
+            last_winner: None,
+            presented: 0,
+            served: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// The arbitration policy in force.
+    pub fn policy(&self) -> Arbitration {
+        self.policy
+    }
+
+    /// Arbitrates one cycle: all `requests` count as presented accesses, and
+    /// exactly one winner id is returned (or `None` when idle).
+    pub fn arbitrate(
+        &mut self,
+        requests: &[Request],
+        rng: &mut Xoshiro256PlusPlus,
+    ) -> Option<usize> {
+        self.presented += requests.len() as u64;
+        if requests.is_empty() {
+            return None;
+        }
+        self.busy_cycles += 1;
+        self.served += 1;
+        let winner = match self.policy {
+            Arbitration::Random => requests[rng.next_below_usize(requests.len())].id,
+            Arbitration::RoundRobin => {
+                // Rotating priority: smallest id at-or-above `base`, with
+                // wraparound (ids below `base` sort after all ids >= base).
+                let base = self.last_winner.map(|w| w + 1).unwrap_or(0);
+                requests
+                    .iter()
+                    .min_by_key(|r| r.id.wrapping_sub(base))
+                    .expect("non-empty")
+                    .id
+            }
+            Arbitration::OldestFirst => {
+                requests
+                    .iter()
+                    .min_by_key(|r| (r.since, r.id))
+                    .expect("non-empty")
+                    .id
+            }
+        };
+        self.last_winner = Some(winner);
+        Some(winner)
+    }
+
+    /// Total requests presented (network accesses), served or not.
+    pub fn presented(&self) -> u64 {
+        self.presented
+    }
+
+    /// Total requests served (one per busy cycle).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Cycles in which at least one request was present.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Denied accesses: presented minus served.
+    pub fn denied(&self) -> u64 {
+        self.presented - self.served
+    }
+
+    /// Resets the statistics but keeps the policy and rotation state.
+    pub fn reset_stats(&mut self) {
+        self.presented = 0;
+        self.served = 0;
+        self.busy_cycles = 0;
+    }
+}
+
+impl Default for MemoryModule {
+    fn default() -> Self {
+        Self::new(Arbitration::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(42)
+    }
+
+    fn reqs(ids: &[usize]) -> Vec<Request> {
+        ids.iter().map(|&id| Request::new(id, 0)).collect()
+    }
+
+    #[test]
+    fn idle_module_serves_nothing() {
+        let mut m = MemoryModule::default();
+        assert_eq!(m.arbitrate(&[], &mut rng()), None);
+        assert_eq!(m.presented(), 0);
+        assert_eq!(m.served(), 0);
+        assert_eq!(m.busy_cycles(), 0);
+    }
+
+    #[test]
+    fn single_requester_always_wins() {
+        let mut m = MemoryModule::new(Arbitration::Random);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.arbitrate(&reqs(&[7]), &mut r), Some(7));
+        }
+        assert_eq!(m.presented(), 10);
+        assert_eq!(m.served(), 10);
+        assert_eq!(m.denied(), 0);
+    }
+
+    #[test]
+    fn random_arbitration_counts_denied() {
+        let mut m = MemoryModule::new(Arbitration::Random);
+        let mut r = rng();
+        for _ in 0..100 {
+            m.arbitrate(&reqs(&[0, 1, 2, 3]), &mut r);
+        }
+        assert_eq!(m.presented(), 400);
+        assert_eq!(m.served(), 100);
+        assert_eq!(m.denied(), 300);
+        assert_eq!(m.busy_cycles(), 100);
+    }
+
+    #[test]
+    fn random_arbitration_is_roughly_fair() {
+        let mut m = MemoryModule::new(Arbitration::Random);
+        let mut r = rng();
+        let mut wins = [0u32; 4];
+        for _ in 0..4000 {
+            let w = m.arbitrate(&reqs(&[0, 1, 2, 3]), &mut r).unwrap();
+            wins[w] += 1;
+        }
+        for w in wins {
+            assert!((800..1200).contains(&w), "wins {wins:?}");
+        }
+    }
+
+    #[test]
+    fn random_winner_expected_wait_matches_model() {
+        // With k contenders and random selection, a given requester needs
+        // ~k attempts in expectation to win — the assumption behind the
+        // paper's Model 1 flag-write term.
+        let mut r = rng();
+        let k = 16usize;
+        let mut total_attempts = 0u64;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut m = MemoryModule::new(Arbitration::Random);
+            let mut attempts = 0u64;
+            loop {
+                attempts += 1;
+                let ids: Vec<Request> = (0..k).map(|i| Request::new(i, 0)).collect();
+                if m.arbitrate(&ids, &mut r) == Some(0) {
+                    break;
+                }
+            }
+            total_attempts += attempts;
+        }
+        let avg = total_attempts as f64 / trials as f64;
+        assert!((avg - k as f64).abs() < 1.5, "avg attempts {avg}");
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut m = MemoryModule::new(Arbitration::RoundRobin);
+        let mut r = rng();
+        let w1 = m.arbitrate(&reqs(&[0, 1, 2]), &mut r).unwrap();
+        let w2 = m.arbitrate(&reqs(&[0, 1, 2]), &mut r).unwrap();
+        let w3 = m.arbitrate(&reqs(&[0, 1, 2]), &mut r).unwrap();
+        assert_eq!(w1, 0);
+        assert_eq!(w2, 1);
+        assert_eq!(w3, 2);
+        let w4 = m.arbitrate(&reqs(&[0, 1, 2]), &mut r).unwrap();
+        assert_eq!(w4, 0);
+    }
+
+    #[test]
+    fn round_robin_skips_absent() {
+        let mut m = MemoryModule::new(Arbitration::RoundRobin);
+        let mut r = rng();
+        assert_eq!(m.arbitrate(&reqs(&[0, 1, 2]), &mut r), Some(0));
+        // 1 absent; next in rotation present is 2.
+        assert_eq!(m.arbitrate(&reqs(&[0, 2]), &mut r), Some(2));
+    }
+
+    #[test]
+    fn oldest_first_prefers_earliest() {
+        let mut m = MemoryModule::new(Arbitration::OldestFirst);
+        let mut r = rng();
+        let requests = vec![Request::new(3, 10), Request::new(5, 2), Request::new(1, 7)];
+        assert_eq!(m.arbitrate(&requests, &mut r), Some(5));
+    }
+
+    #[test]
+    fn oldest_first_ties_break_by_id() {
+        let mut m = MemoryModule::new(Arbitration::OldestFirst);
+        let mut r = rng();
+        let requests = vec![Request::new(9, 4), Request::new(2, 4)];
+        assert_eq!(m.arbitrate(&requests, &mut r), Some(2));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = MemoryModule::default();
+        let mut r = rng();
+        m.arbitrate(&reqs(&[0, 1]), &mut r);
+        m.reset_stats();
+        assert_eq!(m.presented(), 0);
+        assert_eq!(m.served(), 0);
+        assert_eq!(m.busy_cycles(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Omega multistage interconnection network topology.
+//!
+//! An Omega network connecting `N = 2^k` processors to `N` memory modules
+//! consists of `k` stages of 2×2 switches joined by perfect-shuffle wiring.
+//! It is the canonical MIN of the machines the paper targets (RP3,
+//! Ultracomputer, Cedar). Routing is destination-tag: at stage `s` a message
+//! exits through the switch port selected by bit `k−1−s` of its destination.
+//!
+//! For circuit switching the only resource that matters is the set of
+//! *output ports* a circuit occupies, one per stage; two circuits conflict at
+//! the first stage where they occupy the same port. [`OmegaTopology::path`]
+//! computes that port vector and [`OmegaTopology::first_conflict`] finds the
+//! collision depth that the Section-8 backoff policies consume.
+
+/// The wiring of an Omega network with `2^k` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use abs_net::omega::OmegaTopology;
+/// let net = OmegaTopology::new(3); // 8x8, 3 stages
+/// assert_eq!(net.size(), 8);
+/// assert_eq!(net.stages(), 3);
+/// let p = net.path(3, 5);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(*p.last().unwrap(), 5); // last port == destination
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OmegaTopology {
+    log2_size: u32,
+}
+
+impl OmegaTopology {
+    /// Creates an `2^log2_size × 2^log2_size` Omega network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_size` is 0 or greater than 20 (a million-port network
+    /// is outside any sensible simulation).
+    pub fn new(log2_size: u32) -> Self {
+        assert!(
+            (1..=20).contains(&log2_size),
+            "log2_size must be in 1..=20"
+        );
+        Self { log2_size }
+    }
+
+    /// Number of processor (and memory) ports, `2^k`.
+    pub fn size(&self) -> usize {
+        1usize << self.log2_size
+    }
+
+    /// Number of switch stages, `k`.
+    pub fn stages(&self) -> usize {
+        self.log2_size as usize
+    }
+
+    /// Rotates the low `k` bits of `x` left by one (the perfect shuffle).
+    fn shuffle(&self, x: usize) -> usize {
+        let k = self.log2_size;
+        let mask = (1usize << k) - 1;
+        ((x << 1) | (x >> (k - 1))) & mask
+    }
+
+    /// The sequence of switch output ports a message from `src` to `dst`
+    /// occupies, one entry per stage. The final entry equals `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<usize> {
+        let n = self.size();
+        assert!(src < n, "src {src} out of range for size {n}");
+        assert!(dst < n, "dst {dst} out of range for size {n}");
+        let k = self.stages();
+        let mut pos = src;
+        let mut ports = Vec::with_capacity(k);
+        for s in 0..k {
+            pos = self.shuffle(pos);
+            // Destination-tag routing: take bit (k-1-s) of dst as the new
+            // low bit (the switch output select).
+            let bit = (dst >> (k - 1 - s)) & 1;
+            pos = (pos & !1) | bit;
+            ports.push(pos);
+        }
+        debug_assert_eq!(pos, dst);
+        ports
+    }
+
+    /// The stage index (0-based) of the first port shared by two paths, or
+    /// `None` if they are link-disjoint.
+    ///
+    /// The paper's "network depth traversed by the message" before a
+    /// collision is `first_conflict + 1` stages.
+    pub fn first_conflict(path_a: &[usize], path_b: &[usize]) -> Option<usize> {
+        path_a
+            .iter()
+            .zip(path_b.iter())
+            .position(|(a, b)| a == b)
+    }
+
+    /// The switch index at stage `s` that owns output port `port`
+    /// (two ports per switch).
+    pub fn switch_of(&self, port: usize) -> usize {
+        port >> 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_end_at_destination() {
+        let net = OmegaTopology::new(4);
+        for src in 0..net.size() {
+            for dst in 0..net.size() {
+                let p = net.path(src, dst);
+                assert_eq!(p.len(), 4);
+                assert_eq!(*p.last().unwrap(), dst, "src {src} dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_destination_paths_converge() {
+        // All paths to the same destination share at least the final port.
+        let net = OmegaTopology::new(3);
+        let a = net.path(0, 6);
+        let b = net.path(5, 6);
+        let c = OmegaTopology::first_conflict(&a, &b);
+        assert!(c.is_some());
+        assert!(c.unwrap() < 3);
+    }
+
+    #[test]
+    fn identity_route_through_unit_stages() {
+        let net = OmegaTopology::new(2);
+        // 4x4 network: path(0,0) shuffles 0 -> 0, routes bit 0 each time.
+        assert_eq!(net.path(0, 0), vec![0, 0]);
+        assert_eq!(net.path(0, 3), vec![1, 3]);
+    }
+
+    #[test]
+    fn disjoint_paths_have_no_conflict() {
+        let net = OmegaTopology::new(3);
+        // A permutation routed without conflicts: identity is blocking-free
+        // in an omega network only for some permutations; pick two paths and
+        // verify the conflict detector agrees with direct comparison.
+        let a = net.path(0, 0);
+        let b = net.path(7, 7);
+        let direct = a.iter().zip(b.iter()).position(|(x, y)| x == y);
+        assert_eq!(OmegaTopology::first_conflict(&a, &b), direct);
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_first() {
+        let net = OmegaTopology::new(4);
+        for (s1, d1, s2, d2) in [(0, 9, 3, 9), (1, 4, 2, 12), (5, 5, 10, 5)] {
+            let a = net.path(s1, d1);
+            let b = net.path(s2, d2);
+            assert_eq!(
+                OmegaTopology::first_conflict(&a, &b),
+                OmegaTopology::first_conflict(&b, &a)
+            );
+            if let Some(s) = OmegaTopology::first_conflict(&a, &b) {
+                assert!(a[..s].iter().zip(&b[..s]).all(|(x, y)| x != y));
+                assert_eq!(a[s], b[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_module_paths_all_collide_at_some_stage() {
+        // Everyone routing to module 0: all paths share the final port, so
+        // every pair conflicts somewhere — the hot-spot tree.
+        let net = OmegaTopology::new(4);
+        let paths: Vec<_> = (0..net.size()).map(|s| net.path(s, 0)).collect();
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                assert!(OmegaTopology::first_conflict(&paths[i], &paths[j]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_is_rotation() {
+        let net = OmegaTopology::new(3);
+        assert_eq!(net.shuffle(0b100), 0b001);
+        assert_eq!(net.shuffle(0b011), 0b110);
+        assert_eq!(net.shuffle(0b111), 0b111);
+    }
+
+    #[test]
+    fn switch_of_pairs_ports() {
+        let net = OmegaTopology::new(3);
+        assert_eq!(net.switch_of(0), net.switch_of(1));
+        assert_ne!(net.switch_of(1), net.switch_of(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_rejects_bad_src() {
+        OmegaTopology::new(2).path(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2_size")]
+    fn rejects_zero_stages() {
+        OmegaTopology::new(0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Packet-switched Omega-network simulator with finite queues.
+//!
+//! This substrate demonstrates the phenomenon that motivates the whole
+//! paper: *tree saturation*. When even a small fraction of traffic targets
+//! one hot memory module, the module's input queue fills, backs up into the
+//! switch queues feeding it, and eventually blocks traffic that never goes
+//! anywhere near the hot module (Pfister–Norton). It also implements the
+//! Scott–Sohi extension the paper cites as backoff policy 5: memory-queue
+//! lengths are fed back to processors, which postpone injections
+//! proportionally.
+//!
+//! The model: each switch output port owns a FIFO of configurable capacity;
+//! a packet advances at most one stage per cycle, at most one packet enters
+//! a given queue per cycle, and each memory module consumes one packet per
+//! cycle. Processors are closed-loop with a single outstanding request.
+
+use std::collections::VecDeque;
+
+use abs_sim::rng::Xoshiro256PlusPlus;
+use abs_sim::stats::OnlineStats;
+
+use crate::backoff::{CollisionInfo, NetworkBackoff};
+use crate::hotspot::HotspotTraffic;
+use crate::omega::OmegaTopology;
+
+/// Configuration of a packet-switched simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketConfig {
+    /// log₂ of the network size.
+    pub log2_size: u32,
+    /// Capacity of each switch-output FIFO.
+    pub queue_capacity: usize,
+    /// Probability an idle processor issues a request each cycle.
+    pub injection_rate: f64,
+    /// Fraction of requests directed at the hot module (module 0).
+    pub hot_fraction: f64,
+    /// Cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles measured.
+    pub measure_cycles: u64,
+    /// Cycles a memory module takes to serve one packet. With 1 the module
+    /// keeps up with its link and queues only back up inside the switch
+    /// stages; with 2+ the memory queue itself accumulates — the congestion
+    /// signal Scott–Sohi feedback reads.
+    pub memory_service_cycles: u64,
+    /// Requests a processor may have in flight simultaneously. 1 models a
+    /// blocking processor; larger values model pipelined/prefetching
+    /// processors and generate real tree-saturation pressure.
+    pub max_outstanding: u32,
+}
+
+impl Default for PacketConfig {
+    fn default() -> Self {
+        Self {
+            log2_size: 6,
+            queue_capacity: 4,
+            injection_rate: 0.3,
+            hot_fraction: 0.0,
+            warmup_cycles: 2_000,
+            measure_cycles: 20_000,
+            memory_service_cycles: 1,
+            max_outstanding: 1,
+        }
+    }
+}
+
+/// Aggregate results of a packet-switched run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PacketOutcome {
+    /// Packets delivered in the measurement window.
+    pub delivered: u64,
+    /// Of those, packets addressed to the hot module.
+    pub hot_delivered: u64,
+    /// Of those, packets addressed elsewhere (background traffic).
+    pub background_delivered: u64,
+    /// Mean cycles from issue to delivery.
+    pub avg_latency: f64,
+    /// Injections blocked because the entry queue was full or lost
+    /// arbitration.
+    pub blocked_injections: u64,
+    /// Delivered packets per processor per cycle.
+    pub throughput_per_processor: f64,
+    /// Background (non-hot) packets per processor per cycle — the metric
+    /// that collapses under tree saturation.
+    pub background_throughput: f64,
+    /// Mean occupancy of the hot module's memory queue.
+    pub avg_hot_queue: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Packet {
+    owner: usize,
+    path: Vec<usize>,
+    hop: usize,
+    issued: u64,
+    hot: bool,
+}
+
+/// A request waiting at its processor to be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingReq {
+    dst: usize,
+    issued: u64,
+    retry_at: u64,
+    retries: u32,
+}
+
+/// The packet-switched network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use abs_net::packet::{PacketConfig, PacketSim};
+/// use abs_net::backoff::NetworkBackoff;
+///
+/// let sim = PacketSim::new(
+///     PacketConfig { measure_cycles: 2_000, warmup_cycles: 200, ..PacketConfig::default() },
+///     NetworkBackoff::None,
+/// );
+/// let outcome = sim.run(7);
+/// assert!(outcome.delivered > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketSim {
+    config: PacketConfig,
+    policy: NetworkBackoff,
+}
+
+impl PacketSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the injection rate is outside `[0, 1]`, the queue capacity
+    /// is zero, or the network size is invalid.
+    pub fn new(config: PacketConfig, policy: NetworkBackoff) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.injection_rate),
+            "injection rate must lie in [0, 1]"
+        );
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(
+            config.memory_service_cycles > 0,
+            "memory service time must be positive"
+        );
+        assert!(config.max_outstanding > 0, "max outstanding must be positive");
+        let _ = OmegaTopology::new(config.log2_size);
+        Self { config, policy }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PacketConfig {
+        &self.config
+    }
+
+    /// The backoff policy in force.
+    pub fn policy(&self) -> NetworkBackoff {
+        self.policy
+    }
+
+    /// Runs the simulation and returns aggregate statistics.
+    pub fn run(&self, seed: u64) -> PacketOutcome {
+        let topo = OmegaTopology::new(self.config.log2_size);
+        let n = topo.size();
+        let stages = topo.stages();
+        let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
+            .expect("validated hot fraction");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+
+        // queues[s][p]: FIFO at the output port p of stage s.
+        let mut queues: Vec<Vec<VecDeque<Packet>>> =
+            vec![vec![VecDeque::new(); n]; stages];
+        let mut pending: Vec<Option<PendingReq>> = vec![None; n];
+        let mut inflight: Vec<u32> = vec![0; n];
+
+        let total = self.config.warmup_cycles + self.config.measure_cycles;
+        let mut delivered = 0u64;
+        let mut hot_delivered = 0u64;
+        let mut blocked = 0u64;
+        let mut latency = OnlineStats::new();
+        let mut hot_queue_occupancy = OnlineStats::new();
+
+        // Scratch: winner per downstream port.
+        let mut claim: Vec<Option<usize>> = vec![None; n];
+        // Memory-module service completion times.
+        let mut busy_until: Vec<u64> = vec![0; n];
+
+        for now in 1..=total {
+            let measuring = now > self.config.warmup_cycles;
+
+            // 1. Memory modules consume from the last stage, one packet
+            //    per service interval.
+            for m in 0..n {
+                if busy_until[m] > now {
+                    continue;
+                }
+                if let Some(pkt) = queues[stages - 1][m].pop_front() {
+                    busy_until[m] = now + self.config.memory_service_cycles;
+                    inflight[pkt.owner] -= 1;
+                    if measuring {
+                        delivered += 1;
+                        if pkt.hot {
+                            hot_delivered += 1;
+                        }
+                        latency.push((now - pkt.issued) as f64);
+                    }
+                }
+            }
+
+            // 2. Advance packets one stage, last to first, one entry per
+            //    downstream queue per cycle.
+            for s in (1..stages).rev() {
+                claim.iter_mut().for_each(|c| *c = None);
+                // Pick winners among heads of stage s-1 wanting each port.
+                for p in 0..n {
+                    let Some(head) = queues[s - 1][p].front() else {
+                        continue;
+                    };
+                    let want = head.path[s];
+                    if queues[s][want].len() >= self.config.queue_capacity {
+                        continue;
+                    }
+                    match claim[want] {
+                        None => claim[want] = Some(p),
+                        Some(other) => {
+                            // Two upstream ports of the same switch contend;
+                            // flip a fair coin.
+                            if rng.next_bool(0.5) {
+                                claim[want] = Some(p);
+                            } else {
+                                claim[want] = Some(other);
+                            }
+                        }
+                    }
+                }
+                for want in 0..n {
+                    if let Some(src_port) = claim[want] {
+                        let mut pkt = queues[s - 1][src_port]
+                            .pop_front()
+                            .expect("claimed head exists");
+                        pkt.hop = s;
+                        queues[s][want].push_back(pkt);
+                    }
+                }
+            }
+
+            // 3. Generate new requests.
+            for p in 0..n {
+                if pending[p].is_none()
+                    && inflight[p] < self.config.max_outstanding
+                    && rng.next_bool(self.config.injection_rate)
+                {
+                    pending[p] = Some(PendingReq {
+                        dst: traffic.destination(&mut rng),
+                        issued: now,
+                        retry_at: now,
+                        retries: 0,
+                    });
+                }
+            }
+
+            // 4. Inject pending packets into stage 0, one per entry queue.
+            claim.iter_mut().for_each(|c| *c = None);
+            for p in 0..n {
+                let Some(req) = pending[p] else {
+                    continue;
+                };
+                let PendingReq {
+                    dst,
+                    retry_at,
+                    issued,
+                    retries,
+                } = req;
+                if retry_at > now {
+                    continue;
+                }
+                // Scott–Sohi feedback: before submitting at all, consult the
+                // policy with the destination memory queue's length — the
+                // "state information found in the queues at the memory
+                // modules to signal processors to stop making requests".
+                // Feedback fires only once the queue is past half capacity
+                // ("in congested situations"), so lightly-loaded modules
+                // are never throttled.
+                let queue_len = queues[stages - 1][dst].len();
+                if queue_len > self.config.queue_capacity / 2 {
+                    let delay = self.policy.delay(CollisionInfo {
+                        depth: 0,
+                        stages,
+                        retries: 0,
+                        queue_len,
+                    });
+                    if delay > 0 {
+                        pending[p] = Some(PendingReq {
+                            dst,
+                            issued,
+                            retry_at: now + delay,
+                            retries,
+                        });
+                        continue;
+                    }
+                }
+                let first_port = {
+                    // path[0] of the packet from p to dst.
+                    topo.path(p, dst)[0]
+                };
+                if queues[0][first_port].len() >= self.config.queue_capacity {
+                    self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages);
+                    continue;
+                }
+                match claim[first_port] {
+                    None => claim[first_port] = Some(p),
+                    Some(_) => {
+                        self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages)
+                    }
+                }
+            }
+            for port in 0..n {
+                let Some(p) = claim[port] else { continue };
+                let Some(PendingReq { dst, issued, .. }) = pending[p] else {
+                    continue;
+                };
+                let path = topo.path(p, dst);
+                queues[0][port].push_back(Packet {
+                    owner: p,
+                    path,
+                    hop: 0,
+                    issued,
+                    hot: dst == 0,
+                });
+                pending[p] = None;
+                inflight[p] += 1;
+            }
+
+            if measuring {
+                hot_queue_occupancy.push(queues[stages - 1][0].len() as f64);
+            }
+        }
+
+        let background = delivered - hot_delivered;
+        let cycles = self.config.measure_cycles as f64;
+        PacketOutcome {
+            delivered,
+            hot_delivered,
+            background_delivered: background,
+            avg_latency: latency.mean(),
+            blocked_injections: blocked,
+            throughput_per_processor: delivered as f64 / cycles / n as f64,
+            background_throughput: background as f64 / cycles / n as f64,
+            avg_hot_queue: hot_queue_occupancy.mean(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn block(
+        &self,
+        p: usize,
+        pending: &mut [Option<PendingReq>],
+        blocked: &mut u64,
+        measuring: bool,
+        now: u64,
+        queues: &[Vec<VecDeque<Packet>>],
+        stages: usize,
+    ) {
+        let Some(PendingReq {
+            dst,
+            issued,
+            retries,
+            ..
+        }) = pending[p]
+        else {
+            return;
+        };
+        if measuring {
+            *blocked += 1;
+        }
+        let info = CollisionInfo {
+            depth: 1,
+            stages,
+            retries: retries + 1,
+            queue_len: queues[stages - 1][dst].len(),
+        };
+        let delay = self.policy.delay(info);
+        pending[p] = Some(PendingReq {
+            dst,
+            issued,
+            retry_at: now + 1 + delay,
+            retries: retries + 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> PacketConfig {
+        PacketConfig {
+            log2_size: 4,
+            queue_capacity: 4,
+            injection_rate: 0.3,
+            hot_fraction: 0.0,
+            warmup_cycles: 500,
+            measure_cycles: 5_000,
+            memory_service_cycles: 2,
+            max_outstanding: 4,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let sim = PacketSim::new(quick_config(), NetworkBackoff::None);
+        assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn uniform_traffic_flows() {
+        let o = PacketSim::new(quick_config(), NetworkBackoff::None).run(1);
+        assert!(o.delivered > 1_000, "{o:?}");
+        // Latency at least the number of stages (one hop per cycle).
+        assert!(o.avg_latency >= 4.0, "{o:?}");
+        assert_eq!(o.delivered, o.hot_delivered + o.background_delivered);
+    }
+
+    #[test]
+    fn hot_spot_saturates_background_traffic() {
+        // Tree saturation: raising the hot fraction must cut background
+        // throughput (Pfister–Norton).
+        let base = PacketSim::new(quick_config(), NetworkBackoff::None).run(2);
+        let hot = PacketSim::new(
+            PacketConfig {
+                hot_fraction: 0.3,
+                ..quick_config()
+            },
+            NetworkBackoff::None,
+        )
+        .run(2);
+        assert!(
+            hot.background_throughput < base.background_throughput,
+            "hot {} base {}",
+            hot.background_throughput,
+            base.background_throughput
+        );
+        assert!(hot.avg_hot_queue > base.avg_hot_queue);
+    }
+
+    #[test]
+    fn hot_module_service_is_capped() {
+        // The hot module serves at most one packet per cycle.
+        let o = PacketSim::new(
+            PacketConfig {
+                hot_fraction: 0.5,
+                injection_rate: 0.9,
+                ..quick_config()
+            },
+            NetworkBackoff::None,
+        )
+        .run(3);
+        assert!(o.hot_delivered <= o.delivered);
+        assert!(o.hot_delivered as f64 <= quick_config().measure_cycles as f64);
+    }
+
+    #[test]
+    fn queue_feedback_relieves_saturation() {
+        let cfg = PacketConfig {
+            hot_fraction: 0.4,
+            injection_rate: 0.6,
+            ..quick_config()
+        };
+        let none = PacketSim::new(cfg, NetworkBackoff::None).run(4);
+        let fb = PacketSim::new(cfg, NetworkBackoff::QueueFeedback { factor: 8 }).run(4);
+        // Feedback should reduce blocked injections per delivered packet.
+        let none_ratio = none.blocked_injections as f64 / none.delivered.max(1) as f64;
+        let fb_ratio = fb.blocked_injections as f64 / fb.delivered.max(1) as f64;
+        assert!(fb_ratio < none_ratio, "fb {fb_ratio} none {none_ratio}");
+    }
+
+    #[test]
+    fn zero_injection_rate_is_silent() {
+        let o = PacketSim::new(
+            PacketConfig {
+                injection_rate: 0.0,
+                ..quick_config()
+            },
+            NetworkBackoff::None,
+        )
+        .run(5);
+        assert_eq!(o.delivered, 0);
+        assert_eq!(o.blocked_injections, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_capacity_rejected() {
+        PacketSim::new(
+            PacketConfig {
+                queue_capacity: 0,
+                ..quick_config()
+            },
+            NetworkBackoff::None,
+        );
+    }
+}

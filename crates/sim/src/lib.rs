@@ -1,0 +1,52 @@
+//! Deterministic simulation substrate shared by all the simulators in this
+//! workspace.
+//!
+//! The crate provides four things:
+//!
+//! * [`rng`] — a small, self-contained pseudo-random number generator family
+//!   (SplitMix64 and xoshiro256++) so that every simulation in the workspace
+//!   is reproducible bit-for-bit from a single `u64` seed, independent of
+//!   external crate versions.
+//! * [`stats`] — online mean/variance accumulators, summaries with standard
+//!   deviation and confidence intervals, and integer histograms, matching the
+//!   paper's methodology of averaging 100 runs and reporting the spread.
+//! * [`sweep`] — a repetition runner and parameter-sweep helpers that derive
+//!   per-run seeds from a master seed.
+//! * [`table`] / [`series`] — plain-text table and CSV rendering used by the
+//!   `repro` harness to print the paper's tables and figure series.
+//!
+//! # Examples
+//!
+//! ```
+//! use abs_sim::rng::Xoshiro256PlusPlus;
+//! use abs_sim::stats::OnlineStats;
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+//! let mut stats = OnlineStats::new();
+//! for _ in 0..1000 {
+//!     stats.push(rng.next_range_u64(0..100) as f64);
+//! }
+//! assert!((stats.mean() - 49.5).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use rng::{SplitMix64, Xoshiro256PlusPlus};
+pub use series::{Series, SeriesSet};
+pub use stats::{Histogram, OnlineStats, Summary};
+pub use sweep::{derive_seed, Repetitions};
+pub use table::Table;
+
+/// A simulated clock cycle count.
+///
+/// All simulators in the workspace measure time in abstract network cycles,
+/// following the paper's Section 3 model where a memory access over the
+/// network takes one cycle.
+pub type Cycle = u64;

@@ -1,0 +1,260 @@
+//! Repetition and parameter-sweep helpers.
+//!
+//! The paper's methodology (Section 5.2) repeats each barrier simulation 100
+//! times with fresh random arrivals and averages. [`Repetitions`] packages
+//! that pattern: it derives an independent seed per run from a master seed
+//! and folds each run's scalar outputs into [`OnlineStats`] accumulators.
+
+use crate::rng::SplitMix64;
+use crate::stats::{OnlineStats, Summary};
+
+/// Derives the seed for repetition `index` of an experiment from a master
+/// `seed`.
+///
+/// Uses SplitMix64 over the pair so that consecutive indices produce
+/// statistically independent streams.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::sweep::derive_seed;
+/// assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+/// assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+/// ```
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let base = sm.next_u64();
+    let mut sm2 = SplitMix64::new(base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    sm2.next_u64()
+}
+
+/// Runs an experiment closure a fixed number of times with derived seeds and
+/// aggregates every returned metric.
+///
+/// The closure returns a vector of named metrics per run; metrics are matched
+/// positionally across runs (the names from the first run are kept).
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::sweep::Repetitions;
+///
+/// let outcome = Repetitions::new(50, 1234).run(|seed| {
+///     // A toy "simulation": pseudo-random but seed-deterministic value.
+///     vec![("metric", (seed % 100) as f64)]
+/// });
+/// assert_eq!(outcome.runs(), 50);
+/// assert_eq!(outcome.metric_names(), ["metric"]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repetitions {
+    runs: u32,
+    seed: u64,
+}
+
+impl Repetitions {
+    /// Creates a runner that performs `runs` repetitions derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn new(runs: u32, seed: u64) -> Self {
+        assert!(runs > 0, "at least one run is required");
+        Self { runs, seed }
+    }
+
+    /// The paper's default: 100 repetitions.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(100, seed)
+    }
+
+    /// Number of repetitions configured.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Executes the experiment once per repetition and aggregates metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if runs return different numbers of metrics.
+    pub fn run<F>(&self, mut experiment: F) -> SweepOutcome
+    where
+        F: FnMut(u64) -> Vec<(&'static str, f64)>,
+    {
+        let mut names: Vec<&'static str> = Vec::new();
+        let mut stats: Vec<OnlineStats> = Vec::new();
+        for i in 0..self.runs {
+            let run_seed = derive_seed(self.seed, i as u64);
+            let metrics = experiment(run_seed);
+            if i == 0 {
+                names = metrics.iter().map(|(n, _)| *n).collect();
+                stats = vec![OnlineStats::new(); metrics.len()];
+            }
+            assert_eq!(
+                metrics.len(),
+                stats.len(),
+                "every run must return the same metrics"
+            );
+            for (j, (_, v)) in metrics.into_iter().enumerate() {
+                stats[j].push(v);
+            }
+        }
+        SweepOutcome {
+            runs: self.runs,
+            names,
+            stats,
+        }
+    }
+}
+
+/// Aggregated results of a [`Repetitions::run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    runs: u32,
+    names: Vec<&'static str>,
+    stats: Vec<OnlineStats>,
+}
+
+impl SweepOutcome {
+    /// Number of runs aggregated.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// Names of the metrics, in the order returned by the experiment.
+    pub fn metric_names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Mean of the named metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no metric has that name.
+    pub fn mean(&self, name: &str) -> f64 {
+        self.stats_for(name).mean()
+    }
+
+    /// Full summary of the named metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no metric has that name.
+    pub fn summary(&self, name: &str) -> Summary {
+        self.stats_for(name).summary()
+    }
+
+    /// Coefficient of variation of the named metric, for checking the
+    /// paper's "< 7 % standard deviation" methodology claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no metric has that name.
+    pub fn coefficient_of_variation(&self, name: &str) -> f64 {
+        self.stats_for(name).coefficient_of_variation()
+    }
+
+    fn stats_for(&self, name: &str) -> &OnlineStats {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unknown metric {name:?}"));
+        &self.stats[idx]
+    }
+}
+
+/// Generates logarithmically spaced processor counts `2, 4, 8, ..., max`,
+/// the x-axis of the paper's Figures 4–10.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::sweep::power_of_two_counts;
+/// assert_eq!(power_of_two_counts(16), vec![2, 4, 8, 16]);
+/// ```
+pub fn power_of_two_counts(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut n = 2usize;
+    while n <= max {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let s: Vec<u64> = (0..32).map(|i| derive_seed(7, i)).collect();
+        let s2: Vec<u64> = (0..32).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(s, s2);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+
+    #[test]
+    fn repetitions_aggregate() {
+        let outcome = Repetitions::new(10, 99).run(|_| vec![("a", 2.0), ("b", 4.0)]);
+        assert_eq!(outcome.runs(), 10);
+        assert_eq!(outcome.mean("a"), 2.0);
+        assert_eq!(outcome.mean("b"), 4.0);
+        assert_eq!(outcome.summary("a").count, 10);
+        assert_eq!(outcome.coefficient_of_variation("a"), 0.0);
+    }
+
+    #[test]
+    fn repetitions_pass_distinct_seeds() {
+        let mut seeds = Vec::new();
+        Repetitions::new(5, 123).run(|s| {
+            seeds.push(s);
+            vec![("x", 0.0)]
+        });
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        let outcome = Repetitions::new(2, 0).run(|_| vec![("a", 1.0)]);
+        outcome.mean("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        Repetitions::new(0, 0);
+    }
+
+    #[test]
+    fn paper_default_is_100() {
+        assert_eq!(Repetitions::paper_default(0).runs(), 100);
+    }
+
+    #[test]
+    fn power_counts() {
+        assert_eq!(power_of_two_counts(512).len(), 9);
+        assert_eq!(power_of_two_counts(1), Vec::<usize>::new());
+        assert_eq!(power_of_two_counts(3), vec![2]);
+    }
+}

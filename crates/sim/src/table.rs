@@ -1,0 +1,182 @@
+//! Plain-text table rendering for the reproduction harness.
+//!
+//! The `repro` binary prints each of the paper's tables and figure series as
+//! aligned ASCII tables; [`Table`] handles alignment and separators.
+
+use std::fmt;
+
+/// A simple column-aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::table::Table;
+/// let mut t = Table::new(vec!["N", "accesses"]);
+/// t.add_row(vec!["16".into(), "40.0".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("accesses"));
+/// assert!(s.contains("40.0"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of displayable cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn add_display_row<D: fmt::Display>(&mut self, row: Vec<D>) -> &mut Self {
+        self.add_row(row.into_iter().map(|d| d.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        if let Some(title) = &self.title {
+            writeln!(f, "{title}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = *w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with a fixed number of decimals, trimming `-0.0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(abs_sim::table::fmt_f64(3.14159, 2), "3.14");
+/// assert_eq!(abs_sim::table::fmt_f64(-0.0001, 2), "0.00");
+/// ```
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    let s = format!("{x:.decimals$}");
+    if s.starts_with('-') && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Formats a fraction as a percentage string with one decimal.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(abs_sim::table::fmt_percent(0.255), "25.5%");
+/// ```
+pub fn fmt_percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "v"]).with_title("demo");
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "22".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("demo\n"));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // title, header, separator, two rows
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_row() {
+        let mut t = Table::new(vec!["x"]);
+        t.add_display_row(vec![1.5f64]);
+        assert!(t.to_string().contains("1.5"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f64(1.0 / 3.0, 3), "0.333");
+        assert_eq!(fmt_f64(-0.0, 1), "0.0");
+        assert_eq!(fmt_percent(1.0), "100.0%");
+    }
+}

@@ -1,0 +1,196 @@
+//! The spin-wait helper: deterministic exponential backoff.
+//!
+//! The paper argues (Section 4.2) for *deterministic* backoff: it costs a
+//! few instructions, and because every waiter backs off by the same
+//! schedule, the serialization established by the first contention round is
+//! preserved. [`Backoff`] implements exactly that schedule —
+//! `base^k` pause iterations after the `k`-th failure, up to a cap — with
+//! one host-reality addition: past a yield threshold the thread calls
+//! `std::thread::yield_now()` so oversubscribed machines make progress.
+
+use std::hint;
+use std::thread;
+
+/// Default exponential base (the paper's "binary backoff").
+pub const DEFAULT_BASE: u32 = 2;
+/// Default cap exponent: delays stop growing at `base^DEFAULT_CAP_EXP`.
+pub const DEFAULT_CAP_EXP: u32 = 10;
+/// Steps after which `snooze` starts yielding the CPU instead of spinning.
+pub const DEFAULT_YIELD_AFTER: u32 = 6;
+
+/// A per-wait backoff state machine.
+///
+/// Create one per waiting episode; call [`Backoff::snooze`] after each
+/// failed check. The delay grows exponentially and deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sync::backoff::Backoff;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let flag = AtomicBool::new(true); // already set: loop exits immediately
+/// let mut backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// assert_eq!(backoff.step(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: u32,
+    cap_exp: u32,
+    yield_after: u32,
+    step: u32,
+}
+
+impl Backoff {
+    /// Binary backoff with default cap and yield threshold.
+    pub fn new() -> Self {
+        Self::with_base(DEFAULT_BASE)
+    }
+
+    /// Backoff with the given exponential base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base < 2`.
+    pub fn with_base(base: u32) -> Self {
+        assert!(base >= 2, "exponential base must be at least 2");
+        Self {
+            base,
+            cap_exp: DEFAULT_CAP_EXP,
+            yield_after: DEFAULT_YIELD_AFTER,
+            step: 0,
+        }
+    }
+
+    /// Sets the cap exponent: delays saturate at `base^cap_exp` pause
+    /// iterations.
+    pub fn cap_exp(mut self, cap_exp: u32) -> Self {
+        self.cap_exp = cap_exp;
+        self
+    }
+
+    /// Sets the step after which `snooze` yields instead of spinning.
+    pub fn yield_after(mut self, yield_after: u32) -> Self {
+        self.yield_after = yield_after;
+        self
+    }
+
+    /// Failures so far in this episode.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Whether the next snooze would yield the CPU rather than spin — the
+    /// signal the queue-on-threshold policy uses to park instead.
+    pub fn is_yielding(&self) -> bool {
+        self.step > self.yield_after
+    }
+
+    /// The number of pause iterations the next snooze will spin.
+    pub fn next_spins(&self) -> u64 {
+        let exp = self.step.min(self.cap_exp);
+        (self.base as u64).saturating_pow(exp)
+    }
+
+    /// Busy-waits for the current step's duration and advances the
+    /// schedule. Yields the thread past the yield threshold.
+    pub fn snooze(&mut self) {
+        if self.step <= self.yield_after {
+            for _ in 0..self.next_spins() {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Busy-waits `spins` pause iterations — used for the paper's backoff
+    /// *on the barrier variable*, whose duration comes from the barrier
+    /// count rather than from failures.
+    pub fn spin_for(spins: u64) {
+        for _ in 0..spins {
+            hint::spin_loop();
+        }
+    }
+
+    /// Resets the schedule for a new waiting episode.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_grows_then_caps() {
+        let mut b = Backoff::with_base(2).cap_exp(4).yield_after(100);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(b.next_spins());
+            b.snooze();
+        }
+        assert_eq!(seen, [1, 2, 4, 8, 16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn base_matters() {
+        let mut b = Backoff::with_base(8).cap_exp(20).yield_after(100);
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.next_spins(), 64);
+    }
+
+    #[test]
+    fn yielding_after_threshold() {
+        let mut b = Backoff::new().yield_after(2);
+        assert!(!b.is_yielding());
+        for _ in 0..4 {
+            b.snooze();
+        }
+        assert!(b.is_yielding());
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut b = Backoff::new();
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.step(), 2);
+        b.reset();
+        assert_eq!(b.step(), 0);
+        assert_eq!(b.next_spins(), 1);
+    }
+
+    #[test]
+    fn no_overflow_at_extremes() {
+        let mut b = Backoff::with_base(2).cap_exp(63).yield_after(0);
+        for _ in 0..100 {
+            b.snooze(); // yields, cheap
+        }
+        assert!(b.next_spins() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be at least 2")]
+    fn base_one_rejected() {
+        Backoff::with_base(1);
+    }
+
+    #[test]
+    fn spin_for_returns() {
+        Backoff::spin_for(0);
+        Backoff::spin_for(1000);
+    }
+}

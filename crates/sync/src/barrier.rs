@@ -1,0 +1,320 @@
+//! A sense-reversing Tang–Yew spin barrier with adaptive backoff.
+//!
+//! The paper's barrier is "implemented using a separate barrier variable
+//! and a barrier flag": arrivers fetch-and-add the variable, the last
+//! arriver sets the flag, the rest spin on it. [`SpinBarrier`] is that
+//! construction on `std::sync::atomic`, made reusable by replacing the
+//! boolean flag with a release *generation* counter (classic sense
+//! reversal), with the paper's waiting policies pluggable via
+//! [`WaitPolicy`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::backoff::Backoff;
+
+/// Spin-wait units per missing processor used by the on-variable policy.
+const VAR_WAIT_UNIT: u64 = 32;
+
+/// How a waiting thread behaves at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WaitPolicy {
+    /// Poll the release generation continuously.
+    #[default]
+    Spin,
+    /// Backoff on the barrier variable: having incremented the count to
+    /// `i` of `n`, spin `(n - i) × unit` before the first poll, then poll
+    /// continuously.
+    OnVariable,
+    /// On-variable backoff plus exponential backoff between polls.
+    Exponential {
+        /// Exponential base (the paper studies 2, 4 and 8).
+        base: u32,
+        /// Cap exponent: pauses stop growing at `base^cap_exp`.
+        cap_exp: u32,
+    },
+    /// Exponential backoff that parks the thread on a condition variable
+    /// once the spin budget is exhausted — the Section-7 proposal for
+    /// "when to take a busy-waiting process out of circulation and queue
+    /// it on a condition variable".
+    QueueOnThreshold {
+        /// Exponential base while still spinning.
+        base: u32,
+        /// Number of backoff steps before parking.
+        spin_steps: u32,
+    },
+}
+
+impl WaitPolicy {
+    /// Uncapped-ish exponential backoff with a sensible cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base < 2`.
+    pub fn exponential(base: u32) -> Self {
+        assert!(base >= 2, "exponential base must be at least 2");
+        WaitPolicy::Exponential { base, cap_exp: 14 }
+    }
+
+    /// Park after `spin_steps` doublings of a binary backoff.
+    pub fn queue_after(spin_steps: u32) -> Self {
+        WaitPolicy::QueueOnThreshold {
+            base: 2,
+            spin_steps,
+        }
+    }
+}
+
+/// A reusable spin barrier for a fixed set of `n` threads.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sync::barrier::{SpinBarrier, WaitPolicy};
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let n = 4;
+/// let barrier = Arc::new(SpinBarrier::with_policy(n, WaitPolicy::exponential(2)));
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let handles: Vec<_> = (0..n)
+///     .map(|_| {
+///         let b = Arc::clone(&barrier);
+///         let h = Arc::clone(&hits);
+///         std::thread::spawn(move || {
+///             h.fetch_add(1, Ordering::SeqCst);
+///             b.wait();
+///             // Everyone arrived before anyone proceeds.
+///             assert_eq!(h.load(Ordering::SeqCst), n);
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    policy: WaitPolicy,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    /// Parked-waiter support for the queue policy.
+    park_lock: Mutex<()>,
+    park_cond: Condvar,
+}
+
+impl SpinBarrier {
+    /// A continuously-polling barrier for `n` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        Self::with_policy(n, WaitPolicy::Spin)
+    }
+
+    /// A barrier with an explicit waiting policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_policy(n: usize, policy: WaitPolicy) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        Self {
+            n,
+            policy,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            park_lock: Mutex::new(()),
+            park_cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> WaitPolicy {
+        self.policy
+    }
+
+    /// The current release generation (how many times the barrier has
+    /// opened).
+    pub fn generation(&self) -> usize {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all `n` threads have called `wait` in this generation.
+    /// Returns `true` on exactly one thread per generation (the "leader",
+    /// the last arriver that set the flag).
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let i = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if i == self.n {
+            // Last arriver: reset the variable and set the "flag".
+            self.count.store(0, Ordering::Relaxed);
+            {
+                // Pair with parked waiters: publish under the lock so a
+                // thread checking-then-parking cannot miss the wake-up.
+                let _guard = self.park_lock.lock();
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+            self.park_cond.notify_all();
+            return true;
+        }
+
+        // Backoff on the barrier variable: at best one arrival per
+        // "cycle", so (n - i) units must elapse before the flag can
+        // possibly be set.
+        match self.policy {
+            WaitPolicy::OnVariable
+            | WaitPolicy::Exponential { .. }
+            | WaitPolicy::QueueOnThreshold { .. } => {
+                Backoff::spin_for((self.n - i) as u64 * VAR_WAIT_UNIT);
+            }
+            WaitPolicy::Spin => {}
+        }
+
+        match self.policy {
+            WaitPolicy::Spin | WaitPolicy::OnVariable => {
+                while self.generation.load(Ordering::Acquire) == gen {
+                    std::hint::spin_loop();
+                }
+            }
+            WaitPolicy::Exponential { base, cap_exp } => {
+                let mut backoff = Backoff::with_base(base).cap_exp(cap_exp);
+                while self.generation.load(Ordering::Acquire) == gen {
+                    backoff.snooze();
+                }
+            }
+            WaitPolicy::QueueOnThreshold { base, spin_steps } => {
+                let mut backoff = Backoff::with_base(base).cap_exp(30).yield_after(u32::MAX);
+                while self.generation.load(Ordering::Acquire) == gen {
+                    if backoff.step() >= spin_steps {
+                        // Spin budget exhausted: park until released.
+                        let mut guard = self.park_lock.lock();
+                        while self.generation.load(Ordering::Acquire) == gen {
+                            self.park_cond.wait(&mut guard);
+                        }
+                        break;
+                    }
+                    backoff.snooze();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exercise(policy: WaitPolicy, n: usize, rounds: usize) {
+        let barrier = Arc::new(SpinBarrier::with_policy(n, policy));
+        let phase = Arc::new(Counter::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let p = Arc::clone(&phase);
+                thread::spawn(move || {
+                    let mut leads = 0usize;
+                    for round in 0..rounds {
+                        p.fetch_add(1, Ordering::SeqCst);
+                        if b.wait() {
+                            leads += 1;
+                        }
+                        // After release, every participant has incremented
+                        // for this round.
+                        assert!(p.load(Ordering::SeqCst) >= (round + 1) * n);
+                    }
+                    leads
+                })
+            })
+            .collect();
+        let total_leads: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Exactly one leader per round.
+        assert_eq!(total_leads, rounds);
+        assert_eq!(barrier.generation(), rounds);
+    }
+
+    #[test]
+    fn spin_policy_synchronizes() {
+        exercise(WaitPolicy::Spin, 4, 50);
+    }
+
+    #[test]
+    fn on_variable_policy_synchronizes() {
+        exercise(WaitPolicy::OnVariable, 4, 50);
+    }
+
+    #[test]
+    fn exponential_policy_synchronizes() {
+        exercise(WaitPolicy::exponential(2), 4, 50);
+        exercise(WaitPolicy::exponential(8), 3, 20);
+    }
+
+    #[test]
+    fn queue_policy_synchronizes() {
+        // Tiny spin budget forces real parking.
+        exercise(WaitPolicy::queue_after(2), 4, 20);
+    }
+
+    #[test]
+    fn single_thread_barrier_is_always_leader() {
+        let b = SpinBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    fn uneven_arrival_with_queue_policy() {
+        // One thread arrives very late; early arrivers must park and still
+        // wake correctly.
+        let b = Arc::new(SpinBarrier::with_policy(3, WaitPolicy::queue_after(1)));
+        let early: Vec<_> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || b.wait())
+            })
+            .collect();
+        thread::sleep(std::time::Duration::from_millis(50));
+        let led = b.wait();
+        assert!(led, "the late arriver must be the leader");
+        for h in early {
+            assert!(!h.join().unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        SpinBarrier::new(0);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert_eq!(
+            WaitPolicy::exponential(4),
+            WaitPolicy::Exponential {
+                base: 4,
+                cap_exp: 14
+            }
+        );
+        assert_eq!(
+            WaitPolicy::queue_after(9),
+            WaitPolicy::QueueOnThreshold {
+                base: 2,
+                spin_steps: 9
+            }
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! A software combining-tree barrier (Yew–Tseng–Lawrie) on real threads.
+//!
+//! For large processor counts the paper recommends distributed software
+//! combining, with its backoff methods applied "on the intermediate nodes
+//! of the tree". [`CombiningTreeBarrier`] partitions the participants into
+//! groups of `degree`; each tree node is a little counter/generation
+//! barrier, the last arriver at a node climbs to the parent, the root's
+//! last arriver starts a release wave that each climber propagates to the
+//! node it came from. Contention per cache line is bounded by `degree`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::backoff::Backoff;
+use crate::barrier::WaitPolicy;
+
+#[derive(Debug)]
+struct Node {
+    parent: Option<usize>,
+    expected: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+/// A combining-tree barrier for `n` threads with fan-in `degree`.
+///
+/// Threads must pass their stable index (`0..n`) to [`wait`], which
+/// determines their leaf group.
+///
+/// [`wait`]: CombiningTreeBarrier::wait
+///
+/// # Examples
+///
+/// ```
+/// use abs_sync::combining::CombiningTreeBarrier;
+/// use abs_sync::barrier::WaitPolicy;
+/// use std::sync::Arc;
+///
+/// let n = 8;
+/// let barrier = Arc::new(CombiningTreeBarrier::new(n, 2, WaitPolicy::exponential(2)));
+/// let handles: Vec<_> = (0..n)
+///     .map(|i| {
+///         let b = Arc::clone(&barrier);
+///         std::thread::spawn(move || {
+///             for _ in 0..10 {
+///                 b.wait(i);
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CombiningTreeBarrier {
+    n: usize,
+    degree: usize,
+    nodes: Vec<Node>,
+    policy: WaitPolicy,
+}
+
+impl CombiningTreeBarrier {
+    /// Creates the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `degree < 2`.
+    pub fn new(n: usize, degree: usize, policy: WaitPolicy) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        assert!(degree >= 2, "tree degree must be at least 2");
+        let mut nodes: Vec<Node> = Vec::new();
+        let new_node = |parent, expected| Node {
+            parent,
+            expected,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        };
+        let leaf_count = n.div_ceil(degree);
+        for leaf in 0..leaf_count {
+            let members = ((leaf + 1) * degree).min(n) - leaf * degree;
+            nodes.push(new_node(None, members));
+        }
+        let mut level_start = 0usize;
+        let mut level_len = leaf_count;
+        while level_len > 1 {
+            let next_len = level_len.div_ceil(degree);
+            let next_start = nodes.len();
+            for g in 0..next_len {
+                let members = ((g + 1) * degree).min(level_len) - g * degree;
+                nodes.push(new_node(None, members));
+            }
+            for i in 0..level_len {
+                nodes[level_start + i].parent = Some(next_start + i / degree);
+            }
+            level_start = next_start;
+            level_len = next_len;
+        }
+        Self {
+            n,
+            degree,
+            nodes,
+            policy,
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tree nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fan-in of each node.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Waits at the barrier as participant `index`. Returns `true` on the
+    /// one thread that won the root (the global leader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn wait(&self, index: usize) -> bool {
+        assert!(index < self.n, "participant index out of range");
+        let mut node = index / self.degree;
+        // Nodes this thread won; their generations must be bumped on the
+        // way down.
+        let mut owned: Vec<usize> = Vec::new();
+        let leader = loop {
+            let nd = &self.nodes[node];
+            let gen = nd.generation.load(Ordering::Acquire);
+            let i = nd.count.fetch_add(1, Ordering::AcqRel) + 1;
+            if i == nd.expected {
+                nd.count.store(0, Ordering::Relaxed);
+                owned.push(node);
+                match nd.parent {
+                    Some(parent) => {
+                        node = parent;
+                        continue;
+                    }
+                    None => break true, // won the root
+                }
+            } else {
+                // Wait for this node's release, with the configured
+                // backoff: first proportional to the missing arrivals,
+                // then (optionally) exponential between polls.
+                self.wait_for_release(nd, gen, nd.expected - i);
+                break false;
+            }
+        };
+        // Release wave: bump the generation of every owned node, root
+        // first.
+        for &v in owned.iter().rev() {
+            self.nodes[v].generation.fetch_add(1, Ordering::Release);
+        }
+        leader
+    }
+
+    fn wait_for_release(&self, nd: &Node, gen: usize, missing: usize) {
+        match self.policy {
+            WaitPolicy::Spin => {
+                while nd.generation.load(Ordering::Acquire) == gen {
+                    std::hint::spin_loop();
+                }
+            }
+            WaitPolicy::OnVariable => {
+                Backoff::spin_for(missing as u64 * 32);
+                while nd.generation.load(Ordering::Acquire) == gen {
+                    std::hint::spin_loop();
+                }
+            }
+            WaitPolicy::Exponential { base, cap_exp }
+            | WaitPolicy::QueueOnThreshold {
+                base,
+                spin_steps: cap_exp,
+            } => {
+                // Parking is pointless inside a bounded-degree node; the
+                // queue policy degenerates to capped exponential here.
+                Backoff::spin_for(missing as u64 * 32);
+                let mut backoff = Backoff::with_base(base).cap_exp(cap_exp.min(16));
+                while nd.generation.load(Ordering::Acquire) == gen {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn exercise(n: usize, degree: usize, policy: WaitPolicy, rounds: usize) {
+        let barrier = Arc::new(CombiningTreeBarrier::new(n, degree, policy));
+        let phase = Arc::new(Counter::new(0));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = Arc::clone(&barrier);
+                let p = Arc::clone(&phase);
+                thread::spawn(move || {
+                    let mut leads = 0;
+                    for round in 0..rounds {
+                        p.fetch_add(1, Ordering::SeqCst);
+                        if b.wait(i) {
+                            leads += 1;
+                        }
+                        assert!(p.load(Ordering::SeqCst) >= (round + 1) * n);
+                    }
+                    leads
+                })
+            })
+            .collect();
+        let leads: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(leads, rounds, "exactly one root winner per round");
+    }
+
+    #[test]
+    fn binary_tree_synchronizes() {
+        exercise(8, 2, WaitPolicy::Spin, 30);
+    }
+
+    #[test]
+    fn quad_tree_with_backoff_synchronizes() {
+        exercise(8, 4, WaitPolicy::exponential(2), 30);
+    }
+
+    #[test]
+    fn uneven_participant_count() {
+        exercise(7, 2, WaitPolicy::exponential(4), 20);
+        exercise(5, 4, WaitPolicy::OnVariable, 20);
+    }
+
+    #[test]
+    fn single_participant() {
+        let b = CombiningTreeBarrier::new(1, 2, WaitPolicy::Spin);
+        assert!(b.wait(0));
+        assert!(b.wait(0));
+        assert_eq!(b.nodes(), 1);
+    }
+
+    #[test]
+    fn node_count_matches_tree_shape() {
+        let b = CombiningTreeBarrier::new(8, 2, WaitPolicy::Spin);
+        assert_eq!(b.nodes(), 7); // 4 + 2 + 1
+        let b = CombiningTreeBarrier::new(64, 4, WaitPolicy::Spin);
+        assert_eq!(b.nodes(), 16 + 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_rejected() {
+        CombiningTreeBarrier::new(2, 2, WaitPolicy::Spin).wait(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_one_rejected() {
+        CombiningTreeBarrier::new(4, 1, WaitPolicy::Spin);
+    }
+}

@@ -1,0 +1,56 @@
+//! Real-thread adaptive-backoff synchronization primitives.
+//!
+//! The reproducibility band for this paper is maximal precisely because its
+//! contribution — *software* backoff driven by synchronization state — maps
+//! directly onto `std::sync::atomic` on a commodity multicore. This crate
+//! is that mapping:
+//!
+//! * [`backoff::Backoff`] — a reusable spin-wait helper implementing the
+//!   paper's deterministic exponential backoff (plus a yield threshold for
+//!   oversubscribed hosts).
+//! * [`barrier::SpinBarrier`] — a sense-reversing Tang–Yew barrier
+//!   (fetch-and-add counter + release generation) with the paper's three
+//!   waiting policies: continuous polling, backoff on the barrier variable
+//!   (spin proportional to the number of processors still missing), and
+//!   exponential backoff on the flag; plus the Section-7 queue-on-threshold
+//!   policy that parks the thread past a spin budget.
+//! * [`lock::BackoffLock`] — a test-and-test-and-set spinlock with
+//!   exponential backoff, and [`lock::TicketLock`] — a ticket lock with the
+//!   Section-8 *proportional* backoff (spin proportional to the number of
+//!   holders ahead).
+//! * [`combining::CombiningTreeBarrier`] — a software combining-tree
+//!   barrier (Yew–Tseng–Lawrie) with backoff at the intermediate nodes.
+//!
+//! Everything here is `#![forbid(unsafe_code)]`: the primitives are
+//! *synchronization* objects (they order and signal), not containers, so no
+//! `UnsafeCell` is needed.
+//!
+//! # Examples
+//!
+//! ```
+//! use abs_sync::barrier::{SpinBarrier, WaitPolicy};
+//! use std::sync::Arc;
+//!
+//! let barrier = Arc::new(SpinBarrier::with_policy(4, WaitPolicy::exponential(2)));
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let b = Arc::clone(&barrier);
+//!         std::thread::spawn(move || b.wait())
+//!     })
+//!     .collect();
+//! let leaders = handles.into_iter().filter(|h| false).count();
+//! # let _ = leaders;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod barrier;
+pub mod combining;
+pub mod lock;
+
+pub use backoff::Backoff;
+pub use barrier::{SpinBarrier, WaitPolicy};
+pub use combining::CombiningTreeBarrier;
+pub use lock::{BackoffLock, TicketLock};

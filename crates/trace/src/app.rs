@@ -1,0 +1,197 @@
+//! The SPMD application model (Appendix A).
+//!
+//! An application is a sequence of sections executed by all processors in
+//! lockstep-by-barrier, mirroring the Epex/Fortran
+//! Single-Program-Multiple-Data model: "serial and parallel sections along
+//! with replicate sections, which are executed by all processors".
+//! Parallel loops are *self-scheduled*: processors fetch-and-add a shared
+//! loop index to claim iterations, exactly the construct whose trace markers
+//! the paper's post-mortem scheduler interprets.
+
+/// One section of an SPMD program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Section {
+    /// A self-scheduled parallel loop followed by a barrier.
+    Parallel {
+        /// Number of loop iterations (the paper's loops: 128 for FFT and
+        /// SIMPLE, 108/72 for WEATHER).
+        iterations: usize,
+        /// Mean memory references per iteration.
+        iter_refs: u32,
+        /// Relative iteration-length jitter in `[0, 1)`; 0 gives perfectly
+        /// uniform iterations (FFT), larger values give SIMPLE's
+        /// "occasionally varying" lengths.
+        jitter: f64,
+    },
+    /// A serial section executed by processor 0 while everyone else waits
+    /// at the following barrier ("one processor executes the serial section
+    /// while all the rest wait at the bottom").
+    Serial {
+        /// Memory references executed by the one processor.
+        refs: u32,
+    },
+    /// A replicated section executed by every processor on private data,
+    /// followed by a barrier.
+    Replicate {
+        /// Memory references per processor.
+        refs: u32,
+    },
+}
+
+impl Section {
+    /// Whether any processor does shared-data work in this section.
+    pub fn touches_shared(&self) -> bool {
+        !matches!(self, Section::Replicate { .. })
+    }
+}
+
+/// A complete SPMD application: a named list of sections.
+///
+/// # Examples
+///
+/// ```
+/// use abs_trace::app::{Section, SpmdApp};
+/// let app = SpmdApp::new(
+///     "toy",
+///     vec![Section::Parallel { iterations: 8, iter_refs: 50, jitter: 0.0 }],
+/// );
+/// assert_eq!(app.sections().len(), 1);
+/// assert_eq!(app.name(), "toy");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmdApp {
+    name: String,
+    sections: Vec<Section>,
+}
+
+impl SpmdApp {
+    /// Creates an application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` is empty or any parallel section has zero
+    /// iterations or zero-length iterations.
+    pub fn new<S: Into<String>>(name: S, sections: Vec<Section>) -> Self {
+        assert!(!sections.is_empty(), "an application needs sections");
+        for s in &sections {
+            match *s {
+                Section::Parallel {
+                    iterations,
+                    iter_refs,
+                    jitter,
+                } => {
+                    assert!(iterations > 0, "parallel section needs iterations");
+                    assert!(iter_refs > 0, "iterations must reference memory");
+                    assert!(
+                        (0.0..1.0).contains(&jitter),
+                        "jitter must lie in [0, 1)"
+                    );
+                }
+                Section::Serial { refs } | Section::Replicate { refs } => {
+                    assert!(refs > 0, "sections must reference memory");
+                }
+            }
+        }
+        Self {
+            name: name.into(),
+            sections,
+        }
+    }
+
+    /// The application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The section list.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Number of barriers the application will execute (every section ends
+    /// in one).
+    pub fn barriers(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// A rough total of data references across all processors, excluding
+    /// synchronization (useful to size simulations).
+    pub fn approx_data_refs(&self, procs: usize) -> u64 {
+        self.sections
+            .iter()
+            .map(|s| match *s {
+                Section::Parallel {
+                    iterations,
+                    iter_refs,
+                    ..
+                } => iterations as u64 * iter_refs as u64,
+                Section::Serial { refs } => refs as u64,
+                Section::Replicate { refs } => refs as u64 * procs as u64,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let app = SpmdApp::new(
+            "x",
+            vec![
+                Section::Parallel {
+                    iterations: 4,
+                    iter_refs: 10,
+                    jitter: 0.5,
+                },
+                Section::Serial { refs: 7 },
+                Section::Replicate { refs: 3 },
+            ],
+        );
+        assert_eq!(app.barriers(), 3);
+        assert_eq!(app.approx_data_refs(2), 4 * 10 + 7 + 3 * 2);
+        assert!(app.sections()[0].touches_shared());
+        assert!(app.sections()[1].touches_shared());
+        assert!(!app.sections()[2].touches_shared());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs sections")]
+    fn empty_rejected() {
+        SpmdApp::new("x", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs iterations")]
+    fn zero_iterations_rejected() {
+        SpmdApp::new(
+            "x",
+            vec![Section::Parallel {
+                iterations: 0,
+                iter_refs: 1,
+                jitter: 0.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn bad_jitter_rejected() {
+        SpmdApp::new(
+            "x",
+            vec![Section::Parallel {
+                iterations: 1,
+                iter_refs: 1,
+                jitter: 1.0,
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reference memory")]
+    fn zero_refs_rejected() {
+        SpmdApp::new("x", vec![Section::Serial { refs: 0 }]);
+    }
+}

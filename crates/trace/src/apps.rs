@@ -1,0 +1,161 @@
+//! The three synthetic applications (Appendix A substitutes).
+//!
+//! Parameterized to reproduce the *structural* properties the paper
+//! documents for each real application — loop counts, parallelism width,
+//! load balance, and the resulting synchronization-reference fraction
+//! (FFT ≈ 0.2 %, SIMPLE ≈ 5.3 %, WEATHER ≈ 7.9 %).
+
+use crate::app::{Section, SpmdApp};
+
+/// FFT-like: "a parallelized version of a Radix-2 FFT computation … the
+/// parallel loops working on the 128×128 matrix contained 128-way
+/// parallelism. This provided for an even distribution of work … two passes
+/// of the TF2 routine, first by rows and then by columns."
+///
+/// Two perfectly uniform 128-iteration loops with long iterations (a row
+/// FFT is ~`n log n` operations), so synchronization is a fraction of a
+/// percent of all references and arrivals at barriers are tight.
+///
+/// # Examples
+///
+/// ```
+/// let app = abs_trace::apps::fft_like();
+/// assert_eq!(app.sections().len(), 2);
+/// ```
+pub fn fft_like() -> SpmdApp {
+    let pass = Section::Parallel {
+        iterations: 128,
+        // A 128-point row FFT with all its address arithmetic and
+        // twiddle-table traffic: several thousand references.
+        iter_refs: 8064,
+        jitter: 0.0,
+    };
+    SpmdApp::new("FFT", vec![pass, pass])
+}
+
+/// SIMPLE-like: "a number of small and large parallel loops (20 in all)
+/// rather than the few large parallel loops that FFT contains. SIMPLE also
+/// contains many small serial sections (5) … Parallel loop iteration
+/// lengths in SIMPLE vary occasionally."
+///
+/// Twenty loops whose iteration counts are *not* nice multiples of the
+/// processor count, with jittered iteration lengths, plus five serial
+/// sections — giving the intermediate load balance and ~5 % sync fraction
+/// the paper reports.
+pub fn simple_like() -> SpmdApp {
+    // Iteration counts: mostly full 128-way parallelism with a handful of
+    // small, awkward widths (the "not a nice multiple of iterations"
+    // loops whose leftover processors go straight to the barrier).
+    let widths = [
+        128usize, 128, 128, 40, 128, 128, 24, 128, 128, 128, 52, 128, 128, 36, 128, 128, 128,
+        44, 128, 20,
+    ];
+    let mut sections = Vec::new();
+    for (k, &iterations) in widths.iter().enumerate() {
+        let large = iterations == 128;
+        sections.push(Section::Parallel {
+            iterations,
+            // Large loops are long and nearly balanced; the small loops are
+            // short but leave most processors idling.
+            iter_refs: if large { 2000 } else { 500 },
+            jitter: 0.05,
+        });
+        // Five small serial sections interleaved every fourth loop.
+        if k % 4 == 3 {
+            sections.push(Section::Serial { refs: 150 });
+        }
+    }
+    SpmdApp::new("SIMPLE", sections)
+}
+
+/// WEATHER-like: "the grid was 108 by 72 … the dimensions of the grid are
+/// not multiples of 64, many processors are forced to idle in parallel
+/// sections which are followed by barriers. The load-balancing in this
+/// application is far worse than in FFT and SIMPLE."
+///
+/// Alternating 108- and 72-iteration loops with long iterations over 64
+/// processors: 44 processors draw a second row while 20 idle (108 = 64+44),
+/// and only 8 get a second row of the 72-row loops — long spins at every
+/// barrier and the highest sync fraction of the three.
+pub fn weather_like() -> SpmdApp {
+    // COMP1's advection sweeps: alternating loops over the 108 longitudes
+    // and 72 latitudes of the grid, interleaved with longer balanced
+    // physics loops over the full grid.
+    let horizontal = Section::Parallel {
+        iterations: 108,
+        iter_refs: 900,
+        jitter: 0.05,
+    };
+    let vertical = Section::Parallel {
+        iterations: 72,
+        iter_refs: 900,
+        jitter: 0.05,
+    };
+    let physics = Section::Parallel {
+        iterations: 128,
+        iter_refs: 4500,
+        jitter: 0.05,
+    };
+    SpmdApp::new(
+        "WEATHER",
+        vec![physics, horizontal, vertical, physics, horizontal, vertical],
+    )
+}
+
+/// All three applications, in the paper's table order.
+pub fn all() -> Vec<SpmdApp> {
+    vec![fft_like(), simple_like(), weather_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+
+    #[test]
+    fn shapes_match_descriptions() {
+        assert_eq!(fft_like().sections().len(), 2);
+        let simple = simple_like();
+        let serial = simple
+            .sections()
+            .iter()
+            .filter(|s| matches!(s, Section::Serial { .. }))
+            .count();
+        let parallel = simple
+            .sections()
+            .iter()
+            .filter(|s| matches!(s, Section::Parallel { .. }))
+            .count();
+        assert_eq!(serial, 5);
+        assert_eq!(parallel, 20);
+        assert_eq!(weather_like().sections().len(), 6);
+    }
+
+    #[test]
+    fn sync_fraction_ordering_matches_paper() {
+        // Table 1 footnote: sync references are 0.2 %, 7.9 % and 5.3 % of
+        // data references in FFT, WEATHER and SIMPLE. The ordering
+        // FFT << SIMPLE < WEATHER must reproduce.
+        let frac = |app: SpmdApp| {
+            let (_, c) = Scheduler::new(app, 64, 1).run_counting();
+            c.sync_fraction()
+        };
+        let fft = frac(fft_like());
+        let simple = frac(simple_like());
+        let weather = frac(weather_like());
+        assert!(fft < 0.02, "fft sync fraction {fft}");
+        assert!(
+            fft < simple && simple < weather,
+            "fft {fft} simple {simple} weather {weather}"
+        );
+        assert!(simple > 0.01, "simple sync fraction {simple}");
+        assert!(weather > 0.03, "weather sync fraction {weather}");
+    }
+
+    #[test]
+    fn all_lists_three() {
+        let apps = all();
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["FFT", "SIMPLE", "WEATHER"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tree saturation in a multistage network, and backoff as the cure.
+//!
+//! ```text
+//! cargo run --release --example hotspot_network
+//! ```
+//!
+//! First demonstrates Pfister–Norton tree saturation on the packet-switched
+//! Omega network: as the hot-spot fraction rises, throughput of traffic
+//! that never touches the hot module collapses. Then runs the paper's five
+//! Section-8 network-backoff policies on the circuit-switched network and
+//! the Scott–Sohi queue feedback on the packet-switched one.
+
+use adaptive_backoff::net::{
+    CircuitConfig, CircuitSim, NetworkBackoff, PacketConfig, PacketSim,
+};
+use adaptive_backoff::sim::table::{fmt_f64, Table};
+
+fn main() {
+    // Part 1: tree saturation.
+    let mut t = Table::new(vec![
+        "hot fraction",
+        "background throughput",
+        "hot queue occupancy",
+        "avg latency",
+    ])
+    .with_title("Tree saturation: packet-switched 32x32 Omega, queues of 4");
+    for hot in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let sim = PacketSim::new(
+            PacketConfig {
+                log2_size: 5,
+                queue_capacity: 4,
+                injection_rate: 0.5,
+                hot_fraction: hot,
+                warmup_cycles: 1_000,
+                measure_cycles: 10_000,
+                memory_service_cycles: 2,
+                max_outstanding: 4,
+            },
+            NetworkBackoff::None,
+        );
+        let o = sim.run(1);
+        t.add_row(vec![
+            fmt_f64(hot, 2),
+            fmt_f64(o.background_throughput, 4),
+            fmt_f64(o.avg_hot_queue, 2),
+            fmt_f64(o.avg_latency, 1),
+        ]);
+    }
+    println!("{t}");
+
+    // Part 2: collision backoff policies on the circuit-switched network.
+    let mut t = Table::new(vec!["policy", "attempts/request", "latency", "throughput"])
+        .with_title("Circuit-switched collision backoff (30% hot traffic)");
+    let cc = CircuitConfig {
+        log2_size: 5,
+        hold_cycles: 4,
+        request_rate: 0.4,
+        hot_fraction: 0.3,
+        warmup_cycles: 1_000,
+        measure_cycles: 10_000,
+    };
+    for policy in [
+        NetworkBackoff::None,
+        NetworkBackoff::DepthProportional { factor: 4 },
+        NetworkBackoff::InverseDepth { factor: 4 },
+        NetworkBackoff::ConstantRtt { rtt: 8 },
+        NetworkBackoff::ExponentialRetries { base: 2, cap: 256 },
+    ] {
+        let o = CircuitSim::new(cc, policy).run(2);
+        t.add_row(vec![
+            policy.label(),
+            fmt_f64(o.avg_attempts, 2),
+            fmt_f64(o.avg_latency, 1),
+            fmt_f64(o.throughput, 3),
+        ]);
+    }
+    println!("{t}");
+
+    // Part 3: Scott–Sohi queue feedback on the packet network.
+    let mut t = Table::new(vec![
+        "policy",
+        "background throughput",
+        "blocked/delivered",
+        "hot queue",
+    ])
+    .with_title("Queue-feedback injection backoff (packet-switched, 30% hot)");
+    let pc = PacketConfig {
+        log2_size: 5,
+        queue_capacity: 4,
+        injection_rate: 0.6,
+        hot_fraction: 0.3,
+        warmup_cycles: 1_000,
+        measure_cycles: 10_000,
+        memory_service_cycles: 2,
+        max_outstanding: 4,
+    };
+    for policy in [
+        NetworkBackoff::None,
+        NetworkBackoff::QueueFeedback { factor: 4 },
+        NetworkBackoff::QueueFeedback { factor: 16 },
+    ] {
+        let o = PacketSim::new(pc, policy).run(3);
+        t.add_row(vec![
+            policy.label(),
+            fmt_f64(o.background_throughput, 4),
+            fmt_f64(
+                o.blocked_injections as f64 / o.delivered.max(1) as f64,
+                2,
+            ),
+            fmt_f64(o.avg_hot_queue, 2),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,187 @@
+//! End-to-end checks of the paper's headline quantitative claims.
+//!
+//! Each test quotes the claim it verifies. These run the real simulators
+//! at (reduced but meaningful) repetition counts; absolute tolerances are
+//! generous, *shape* assertions are strict.
+
+use adaptive_backoff::core::{aggregate_runs, BackoffPolicy, BarrierConfig, BarrierSim};
+use adaptive_backoff::model;
+
+const SEED: u64 = 0x1989;
+const REPS: u32 = 30;
+
+fn mean_accesses(n: usize, a: u64, policy: BackoffPolicy) -> f64 {
+    let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
+    aggregate_runs(&sim, REPS, SEED).mean_accesses()
+}
+
+fn mean_waiting(n: usize, a: u64, policy: BackoffPolicy) -> f64 {
+    let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
+    aggregate_runs(&sim, REPS, SEED).mean_waiting()
+}
+
+#[test]
+fn abstract_claim_20_to_95_percent_reductions() {
+    // "reductions of 20 percent to over 95 percent in synchronization
+    // traffic can be achieved" — the low end from variable backoff at
+    // large N, the high end from exponential flag backoff at A >> N.
+    let low = 1.0
+        - mean_accesses(256, 0, BackoffPolicy::on_variable())
+            / mean_accesses(256, 0, BackoffPolicy::None);
+    assert!(low > 0.10, "variable backoff saving {low}");
+
+    let high = 1.0
+        - mean_accesses(16, 1000, BackoffPolicy::exponential(2))
+            / mean_accesses(16, 1000, BackoffPolicy::None);
+    assert!(high > 0.95, "exponential saving {high}");
+}
+
+#[test]
+fn model1_five_halves_n() {
+    // Section 6.2: "the net accesses increase as 5N/2".
+    for n in [32usize, 128] {
+        let sim = mean_accesses(n, 0, BackoffPolicy::None);
+        let model = model::model1_accesses(n);
+        assert!(
+            (sim - model).abs() < 0.2 * model,
+            "n={n}: sim {sim} vs 5N/2 = {model}"
+        );
+    }
+}
+
+#[test]
+fn model2_fits_spread_arrivals() {
+    // Figure 4: "the Model 2 curve for A = 1000 provides a near perfect
+    // match with the corresponding simulation curve".
+    for n in [8usize, 32, 128] {
+        let sim = mean_accesses(n, 1000, BackoffPolicy::None);
+        let model = model::model2_accesses(n, 1000.0);
+        assert!(
+            (sim - model).abs() < 0.25 * model,
+            "n={n}: sim {sim} vs model {model}"
+        );
+    }
+}
+
+#[test]
+fn combined_model_is_max_of_both() {
+    // "the maximum of the predictions of the two models yields a good fit
+    // with simulation in all ranges."
+    for (n, a) in [(16usize, 0u64), (64, 100), (256, 100), (16, 1000), (256, 1000)] {
+        let sim = mean_accesses(n, a, BackoffPolicy::None);
+        let model = model::predicted_accesses(n, a as f64);
+        assert!(
+            (sim - model).abs() < 0.35 * model,
+            "n={n} A={a}: sim {sim} vs model {model}"
+        );
+    }
+}
+
+#[test]
+fn paper_example_64_procs_a0() {
+    // "for the 64 processor case, a processor on average accessed the
+    // network ... about 160 network accesses. With backoff on the barrier
+    // variable this number reduced to roughly 132, a 15% reduction."
+    let plain = mean_accesses(64, 0, BackoffPolicy::None);
+    let var = mean_accesses(64, 0, BackoffPolicy::on_variable());
+    assert!((plain - 160.0).abs() < 25.0, "plain {plain}");
+    assert!((var - 132.0).abs() < 25.0, "var-backoff {var}");
+    assert!(var < plain);
+}
+
+#[test]
+fn figure_6_savings_at_a100() {
+    // "In the 16 processor case with a base 4 backoff on the barrier flag
+    // ... a savings of over 90%. In a 64 processor case with a base 8
+    // backoff, the savings in network accesses is about 60%."
+    let s16 = 1.0
+        - mean_accesses(16, 100, BackoffPolicy::exponential(4))
+            / mean_accesses(16, 100, BackoffPolicy::None);
+    assert!(s16 > 0.6, "N=16 base-4 saving {s16}");
+    let s64 = 1.0
+        - mean_accesses(64, 100, BackoffPolicy::exponential(8))
+            / mean_accesses(64, 100, BackoffPolicy::None);
+    assert!((0.35..0.95).contains(&s64), "N=64 base-8 saving {s64}");
+}
+
+#[test]
+fn figure_7_savings_shrink_at_large_n() {
+    // "in the A = 100 and N = 512 case with base 8 backoff, the reduction
+    // in network accesses was only about 30%" — contention dominates at
+    // large N, shrinking the relative benefit.
+    let small = 1.0
+        - mean_accesses(16, 100, BackoffPolicy::exponential(8))
+            / mean_accesses(16, 100, BackoffPolicy::None);
+    let large = 1.0
+        - mean_accesses(512, 100, BackoffPolicy::exponential(8))
+            / mean_accesses(512, 100, BackoffPolicy::None);
+    assert!(
+        small > large,
+        "savings must shrink with N: {small} vs {large}"
+    );
+}
+
+#[test]
+fn figure_10_overshoot_and_decline() {
+    // "for 64 processors and A = 1000, the waiting times without backoff
+    // and with base 8 exponential backoff on the flag are 576 and 2048
+    // respectively — an increase of over 350% due to backoff."
+    let plain = mean_waiting(64, 1000, BackoffPolicy::None);
+    let b8 = mean_waiting(64, 1000, BackoffPolicy::exponential(8));
+    assert!((plain - 576.0).abs() < 100.0, "plain waiting {plain}");
+    assert!(b8 > 2.5 * plain, "base-8 waiting {b8} vs plain {plain}");
+
+    // "the average waiting times per processor reach a maximum around 64
+    // processors and then actually decline as N increases."
+    let w256 = mean_waiting(256, 1000, BackoffPolicy::exponential(8));
+    assert!(w256 < b8, "waiting at N=256 ({w256}) must be below the N=64 peak ({b8})");
+}
+
+#[test]
+fn binary_backoff_favorable_tradeoff() {
+    // "In the sixty-four processor case when A = 1000 ... the binary
+    // backoff decreased synchronization accesses by 97% while increasing
+    // the time spent at the barrier by only 16%."
+    let plain_acc = mean_accesses(64, 1000, BackoffPolicy::None);
+    let b2_acc = mean_accesses(64, 1000, BackoffPolicy::exponential(2));
+    let saving = 1.0 - b2_acc / plain_acc;
+    assert!(saving > 0.9, "binary saving {saving}");
+
+    let plain_wait = mean_waiting(64, 1000, BackoffPolicy::None);
+    let b2_wait = mean_waiting(64, 1000, BackoffPolicy::exponential(2));
+    let increase = b2_wait / plain_wait - 1.0;
+    assert!(
+        increase < 0.5,
+        "binary waiting increase {increase} should be contained"
+    );
+}
+
+#[test]
+fn hardware_schemes_beat_software_at_tight_arrivals() {
+    // Section 6.2: backoff competes with hardware "when A = 0 and N < 8,
+    // A = 100 and N < 32, A = 1000 and N < 128 ... However, when A is
+    // smaller or N is larger, the backoff schemes tend to do much worse."
+    let hw = model::HardwareScheme::Directory.per_processor(256);
+    let soft = mean_accesses(256, 0, BackoffPolicy::exponential(2)) / 1.0;
+    assert!(
+        soft > 10.0 * hw,
+        "at N=256, A=0 software ({soft}) must lose badly to hardware ({hw})"
+    );
+    // But with spread arrivals and small N, software is comparable.
+    let soft_small = mean_accesses(16, 1000, BackoffPolicy::exponential(8));
+    assert!(
+        soft_small < 4.0 * model::HardwareScheme::Directory.per_processor(16),
+        "at N=16, A=1000 software ({soft_small}) is in the hardware ballpark"
+    );
+}
+
+#[test]
+fn deterministic_backoff_preserves_order_of_magnitude_accuracy() {
+    // Sanity anchor for EXPERIMENTS.md: the three arrival regimes give the
+    // qualitative ordering fig5 < fig6 < fig7 for no-backoff accesses at
+    // small N (more spread = more polling).
+    let a0 = mean_accesses(8, 0, BackoffPolicy::None);
+    let a100 = mean_accesses(8, 100, BackoffPolicy::None);
+    let a1000 = mean_accesses(8, 1000, BackoffPolicy::None);
+    assert!(a0 < a100 && a100 < a1000, "{a0} {a100} {a1000}");
+}

@@ -1,0 +1,149 @@
+//! Stress tests for the real-thread primitives, via the facade crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use adaptive_backoff::sync::barrier::{SpinBarrier, WaitPolicy};
+use adaptive_backoff::sync::combining::CombiningTreeBarrier;
+use adaptive_backoff::sync::lock::{BackoffLock, TicketLock};
+
+#[test]
+fn every_wait_policy_synchronizes_phases() {
+    for policy in [
+        WaitPolicy::Spin,
+        WaitPolicy::OnVariable,
+        WaitPolicy::exponential(2),
+        WaitPolicy::exponential(8),
+        WaitPolicy::queue_after(3),
+    ] {
+        let n = 4;
+        let rounds = 25;
+        let barrier = Arc::new(SpinBarrier::with_policy(n, policy));
+        // Per-round arrival counter: when a thread passes round r, all n
+        // arrivals of round r must have happened.
+        let arrived = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                let b = Arc::clone(&barrier);
+                let a = Arc::clone(&arrived);
+                s.spawn(move || {
+                    for round in 0..rounds {
+                        a.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        assert!(
+                            a.load(Ordering::SeqCst) >= (round + 1) * n,
+                            "{policy:?}: escaped the barrier early"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.generation(), rounds, "{policy:?}");
+    }
+}
+
+#[test]
+fn mixed_barrier_and_lock_workload() {
+    // Threads alternate barrier phases with lock-protected accumulation —
+    // the self-scheduling loop structure of the paper's applications.
+    let n = 4;
+    let rounds = 20;
+    let barrier = Arc::new(SpinBarrier::with_policy(n, WaitPolicy::exponential(2)));
+    let lock = Arc::new(BackoffLock::new(2));
+    let sum = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            let b = Arc::clone(&barrier);
+            let l = Arc::clone(&lock);
+            let acc = Arc::clone(&sum);
+            s.spawn(move || {
+                for round in 0..rounds {
+                    // "Parallel section": grab work under the lock.
+                    for _ in 0..50 {
+                        l.with(|| {
+                            let v = acc.load(Ordering::Relaxed);
+                            acc.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                    b.wait();
+                    // After the barrier, the round's total is visible.
+                    assert!(acc.load(Ordering::SeqCst) >= (round + 1) * n * 50);
+                }
+            });
+        }
+    });
+    assert_eq!(sum.load(Ordering::SeqCst), n * rounds * 50);
+}
+
+#[test]
+fn ticket_lock_under_oversubscription() {
+    // More threads than cores: proportional spinning must still guarantee
+    // exclusion and progress.
+    let threads = 8;
+    let lock = Arc::new(TicketLock::new(32));
+    let counter = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let l = Arc::clone(&lock);
+            let c = Arc::clone(&counter);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    l.with(|| {
+                        let v = c.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        c.store(v + 1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), threads * 500);
+}
+
+#[test]
+fn combining_tree_many_shapes() {
+    for (n, degree) in [(6, 2), (8, 4), (9, 3), (16, 2)] {
+        let rounds = 15;
+        let barrier = Arc::new(CombiningTreeBarrier::new(
+            n,
+            degree,
+            WaitPolicy::exponential(2),
+        ));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let b = Arc::clone(&barrier);
+                let l = Arc::clone(&leaders);
+                s.spawn(move || {
+                    for _ in 0..rounds {
+                        if b.wait(i) {
+                            l.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            leaders.load(Ordering::SeqCst),
+            rounds,
+            "n={n} degree={degree}: one leader per round"
+        );
+    }
+}
+
+#[test]
+fn barrier_reusable_across_scopes() {
+    // A barrier outliving its first set of threads works for a second set.
+    let barrier = Arc::new(SpinBarrier::with_policy(3, WaitPolicy::exponential(4)));
+    for _ in 0..3 {
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let b = Arc::clone(&barrier);
+                s.spawn(move || {
+                    b.wait();
+                });
+            }
+        });
+    }
+    assert_eq!(barrier.generation(), 3);
+}
