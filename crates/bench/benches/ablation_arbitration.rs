@@ -4,45 +4,35 @@
 //! metric-level ablation (accesses/waiting per discipline) is printed by
 //! `repro ablations`; this measures the simulator cost of each choice.
 
+use std::hint::black_box;
 use std::time::Duration;
 
+use abs_bench::harness::{Bench, BenchConfig};
 use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
 use abs_net::Arbitration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+fn configure() -> BenchConfig {
+    BenchConfig {
+        sample_count: 20,
+        warmup: Duration::from_millis(200),
+        measurement: Duration::from_millis(800),
+    }
 }
 
-fn benches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arbitration_discipline");
+fn main() {
+    let mut bench = Bench::with_config("ablation_arbitration", configure());
+    let mut group = bench.group("arbitration_discipline");
     for arb in Arbitration::ALL {
         let sim = BarrierSim::new(
             BarrierConfig::new(128, 100).with_arbitration(arb),
             BackoffPolicy::exponential(2),
         );
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{arb:?}")),
-            &sim,
-            |b, sim| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(sim.run(seed))
-                })
-            },
-        );
+        let mut seed = 0u64;
+        group.bench(&format!("{arb:?}"), || {
+            seed += 1;
+            black_box(sim.run(seed));
+        });
     }
     group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = ablation_arbitration;
-    config = configure();
-    targets = benches
-}
-criterion_main!(ablation_arbitration);

@@ -1,65 +1,53 @@
-//! Criterion benches over the barrier simulator — one group per paper
-//! figure regime. Each measurement simulates a full barrier episode, so
+//! Benches over the barrier simulator — one group per paper figure
+//! regime. Each measurement simulates a full barrier episode, so
 //! throughput here bounds how fast the `repro` sweeps can run; the
 //! *metric* regeneration lives in the `repro` binary.
 
-use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn configure(c: &mut Criterion) -> Criterion {
-    let _ = c;
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_millis(800))
-        .warm_up_time(Duration::from_millis(200))
+use abs_bench::harness::{Bench, BenchConfig};
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+
+fn configure() -> BenchConfig {
+    BenchConfig {
+        sample_count: 20,
+        warmup: Duration::from_millis(200),
+        measurement: Duration::from_millis(800),
+    }
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn bench_policies(bench: &mut Bench) {
     for a in [0u64, 1000] {
-        let mut group = c.benchmark_group(format!("barrier_episode/A={a}"));
+        let mut group = bench.group(&format!("barrier_episode/A={a}"));
         for policy in BackoffPolicy::figure_policies() {
             let sim = BarrierSim::new(BarrierConfig::new(64, a), policy);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(policy.label()),
-                &sim,
-                |b, sim| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed = seed.wrapping_add(1);
-                        black_box(sim.run(seed))
-                    })
-                },
-            );
+            let mut seed = 0u64;
+            group.bench(&policy.label(), || {
+                seed = seed.wrapping_add(1);
+                black_box(sim.run(seed));
+            });
         }
         group.finish();
     }
 }
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("barrier_episode_scaling");
+fn bench_scaling(bench: &mut Bench) {
+    let mut group = bench.group("barrier_episode_scaling");
     for n in [16usize, 64, 256, 512] {
         let sim = BarrierSim::new(BarrierConfig::new(n, 100), BackoffPolicy::None);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sim, |b, sim| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                black_box(sim.run(seed))
-            })
+        let mut seed = 0u64;
+        group.bench(&n.to_string(), || {
+            seed = seed.wrapping_add(1);
+            black_box(sim.run(seed));
         });
     }
     group.finish();
 }
 
-fn benches(c: &mut Criterion) {
-    bench_policies(c);
-    bench_scaling(c);
+fn main() {
+    let mut bench = Bench::with_config("barrier_sim", configure());
+    bench_policies(&mut bench);
+    bench_scaling(&mut bench);
+    bench.finish();
 }
-
-criterion_group! {
-    name = barrier_sim;
-    config = configure(&mut Criterion::default());
-    targets = benches
-}
-criterion_main!(barrier_sim);

@@ -1,21 +1,20 @@
-//! Criterion benches of the substrate simulators: the trace scheduler, the
+//! Benches of the substrate simulators: the trace scheduler, the
 //! directory-coherence machine, and the two network models.
 
+use std::hint::black_box;
 use std::time::Duration;
 
+use abs_bench::harness::{Bench, BenchConfig};
 use abs_coherence::{CacheGeometry, DirectorySystem, PointerLimit, SyncCaching};
-use abs_net::{
-    CircuitConfig, CircuitSim, NetworkBackoff, PacketConfig, PacketSim,
-};
+use abs_net::{CircuitConfig, CircuitSim, NetworkBackoff, PacketConfig, PacketSim};
 use abs_trace::{CountingConsumer, Scheduler};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(1))
-        .warm_up_time(Duration::from_millis(300))
+fn configure() -> BenchConfig {
+    BenchConfig {
+        sample_count: 10,
+        warmup: Duration::from_millis(300),
+        measurement: Duration::from_secs(1),
+    }
 }
 
 fn small_app() -> abs_trace::SpmdApp {
@@ -32,51 +31,39 @@ fn small_app() -> abs_trace::SpmdApp {
     )
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_scheduler");
+fn bench_scheduler(bench: &mut Bench) {
+    let mut group = bench.group("trace_scheduler");
     for procs in [16usize, 64] {
         let scheduler = Scheduler::new(small_app(), procs, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(procs),
-            &scheduler,
-            |b, scheduler| {
-                b.iter(|| {
-                    let mut counts = CountingConsumer::new();
-                    black_box(scheduler.run(&mut counts));
-                    black_box(counts)
-                })
-            },
-        );
+        group.bench(&procs.to_string(), || {
+            let mut counts = CountingConsumer::new();
+            black_box(scheduler.run(&mut counts));
+            black_box(&counts);
+        });
     }
     group.finish();
 }
 
-fn bench_coherence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("directory_coherence");
+fn bench_coherence(bench: &mut Bench) {
+    let mut group = bench.group("directory_coherence");
     for limit in [PointerLimit::Limited(2), PointerLimit::Full] {
         let scheduler = Scheduler::new(small_app(), 32, 1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(limit.label(32)),
-            &scheduler,
-            |b, scheduler| {
-                b.iter(|| {
-                    let mut sys = DirectorySystem::new(
-                        32,
-                        CacheGeometry::new(64 * 1024, 16),
-                        limit,
-                        SyncCaching::Cached,
-                    );
-                    scheduler.run(&mut sys);
-                    black_box(sys.stats().traffic_total)
-                })
-            },
-        );
+        group.bench(&limit.label(32), || {
+            let mut sys = DirectorySystem::new(
+                32,
+                CacheGeometry::new(64 * 1024, 16),
+                limit,
+                SyncCaching::Cached,
+            );
+            scheduler.run(&mut sys);
+            black_box(sys.stats().traffic_total);
+        });
     }
     group.finish();
 }
 
-fn bench_networks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omega_networks");
+fn bench_networks(bench: &mut Bench) {
+    let mut group = bench.group("omega_networks");
     let cc = CircuitConfig {
         log2_size: 5,
         hold_cycles: 4,
@@ -86,12 +73,10 @@ fn bench_networks(c: &mut Criterion) {
         measure_cycles: 2_000,
     };
     let circuit = CircuitSim::new(cc, NetworkBackoff::ExponentialRetries { base: 2, cap: 64 });
-    group.bench_function("circuit_switched_2k_cycles", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(circuit.run(seed))
-        })
+    let mut seed = 0u64;
+    group.bench("circuit_switched_2k_cycles", || {
+        seed += 1;
+        black_box(circuit.run(seed));
     });
 
     let pc = PacketConfig {
@@ -105,25 +90,18 @@ fn bench_networks(c: &mut Criterion) {
         max_outstanding: 4,
     };
     let packet = PacketSim::new(pc, NetworkBackoff::QueueFeedback { factor: 4 });
-    group.bench_function("packet_switched_2k_cycles", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(packet.run(seed))
-        })
+    let mut seed = 0u64;
+    group.bench("packet_switched_2k_cycles", || {
+        seed += 1;
+        black_box(packet.run(seed));
     });
     group.finish();
 }
 
-fn benches(c: &mut Criterion) {
-    bench_scheduler(c);
-    bench_coherence(c);
-    bench_networks(c);
+fn main() {
+    let mut bench = Bench::with_config("substrates", configure());
+    bench_scheduler(&mut bench);
+    bench_coherence(&mut bench);
+    bench_networks(&mut bench);
+    bench.finish();
 }
-
-criterion_group! {
-    name = substrates;
-    config = configure();
-    targets = benches
-}
-criterion_main!(substrates);

@@ -1,88 +1,60 @@
-//! Criterion benches of the real-thread primitives: barrier rounds and
-//! lock hand-offs under each backoff policy, on however many host cores
-//! are available.
+//! Benches of the real-thread primitives: barrier rounds and lock
+//! hand-offs under each backoff policy, on however many host cores are
+//! available.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use abs_bench::harness::{Bench, BenchConfig};
 use abs_sync::barrier::{SpinBarrier, WaitPolicy};
 use abs_sync::lock::{BackoffLock, TicketLock};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const THREADS: usize = 4;
 const ROUNDS_PER_ITER: usize = 200;
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(1))
-        .warm_up_time(Duration::from_millis(300))
+fn configure() -> BenchConfig {
+    BenchConfig {
+        sample_count: 10,
+        warmup: Duration::from_millis(300),
+        measurement: Duration::from_secs(1),
+    }
 }
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spin_barrier_rounds");
-    group.throughput(criterion::Throughput::Elements(ROUNDS_PER_ITER as u64));
+fn bench_barrier(bench: &mut Bench) {
+    let mut group = bench.group("spin_barrier_rounds");
+    group.throughput_elements(ROUNDS_PER_ITER as u64);
     for (label, policy) in [
         ("spin", WaitPolicy::Spin),
         ("on-variable", WaitPolicy::OnVariable),
         ("exp-base2", WaitPolicy::exponential(2)),
         ("exp-base8", WaitPolicy::exponential(8)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
-            b.iter(|| {
-                let barrier = Arc::new(SpinBarrier::with_policy(THREADS, policy));
-                std::thread::scope(|s| {
-                    for _ in 0..THREADS {
-                        let bar = Arc::clone(&barrier);
-                        s.spawn(move || {
-                            for _ in 0..ROUNDS_PER_ITER {
-                                bar.wait();
-                            }
-                        });
-                    }
-                });
-            })
+        group.bench(label, || {
+            let barrier = Arc::new(SpinBarrier::with_policy(THREADS, policy));
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    let bar = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        for _ in 0..ROUNDS_PER_ITER {
+                            bar.wait();
+                        }
+                    });
+                }
+            });
         });
     }
     group.finish();
 }
 
-fn bench_locks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lock_handoffs");
+fn bench_locks(bench: &mut Bench) {
+    let mut group = bench.group("lock_handoffs");
     let ops = 1_000usize;
-    group.throughput(criterion::Throughput::Elements((ops * THREADS) as u64));
+    group.throughput_elements((ops * THREADS) as u64);
 
     for base in [2u32, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("ttas_backoff", base),
-            &base,
-            |b, &base| {
-                b.iter(|| {
-                    let lock = Arc::new(BackoffLock::new(base));
-                    let counter = Arc::new(AtomicUsize::new(0));
-                    std::thread::scope(|s| {
-                        for _ in 0..THREADS {
-                            let l = Arc::clone(&lock);
-                            let c = Arc::clone(&counter);
-                            s.spawn(move || {
-                                for _ in 0..ops {
-                                    l.with(|| {
-                                        c.fetch_add(1, Ordering::Relaxed);
-                                    });
-                                }
-                            });
-                        }
-                    });
-                    assert_eq!(counter.load(Ordering::SeqCst), ops * THREADS);
-                })
-            },
-        );
-    }
-
-    group.bench_function("ticket_proportional", |b| {
-        b.iter(|| {
-            let lock = Arc::new(TicketLock::new(32));
+        group.bench(&format!("ttas_backoff/{base}"), || {
+            let lock = Arc::new(BackoffLock::new(base));
             let counter = Arc::new(AtomicUsize::new(0));
             std::thread::scope(|s| {
                 for _ in 0..THREADS {
@@ -98,19 +70,33 @@ fn bench_locks(c: &mut Criterion) {
                 }
             });
             assert_eq!(counter.load(Ordering::SeqCst), ops * THREADS);
-        })
+        });
+    }
+
+    group.bench("ticket_proportional", || {
+        let lock = Arc::new(TicketLock::new(32));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let l = Arc::clone(&lock);
+                let c = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..ops {
+                        l.with(|| {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), ops * THREADS);
     });
     group.finish();
 }
 
-fn benches(c: &mut Criterion) {
-    bench_barrier(c);
-    bench_locks(c);
+fn main() {
+    let mut bench = Bench::with_config("sync_primitives", configure());
+    bench_barrier(&mut bench);
+    bench_locks(&mut bench);
+    bench.finish();
 }
-
-criterion_group! {
-    name = sync_primitives;
-    config = configure();
-    targets = benches
-}
-criterion_main!(sync_primitives);

@@ -26,6 +26,7 @@
 //! | `ablations` | arbitration / determinism / cap | [`experiments::ablation_arbitration`] et al. |
 
 pub mod experiments;
+pub mod harness;
 
 /// Controls how heavy the regeneration runs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

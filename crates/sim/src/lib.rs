@@ -14,6 +14,9 @@
 //!   per-run seeds from a master seed.
 //! * [`table`] / [`series`] — plain-text table and CSV rendering used by the
 //!   `repro` harness to print the paper's tables and figure series.
+//! * [`check`] — an in-tree property-based testing mini-framework (the
+//!   [`forall!`] macro, generators, shrinking) so the workspace needs no
+//!   external test dependencies.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -40,7 +44,7 @@ pub mod table;
 
 pub use rng::{SplitMix64, Xoshiro256PlusPlus};
 pub use series::{Series, SeriesSet};
-pub use stats::{Histogram, OnlineStats, Summary};
+pub use stats::{median, median_abs_deviation, Histogram, OnlineStats, Summary};
 pub use sweep::{derive_seed, Repetitions};
 pub use table::Table;
 

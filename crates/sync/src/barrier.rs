@@ -9,10 +9,16 @@
 //! [`WaitPolicy`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::backoff::Backoff;
+
+/// Locks the park mutex, shrugging off poisoning: the only code that runs
+/// under this lock is the barrier's own (panic-free) bookkeeping, and a
+/// waiter must still be woken even if some thread died elsewhere.
+fn lock_park(lock: &Mutex<()>) -> MutexGuard<'_, ()> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Spin-wait units per missing processor used by the on-variable policy.
 const VAR_WAIT_UNIT: u64 = 32;
@@ -160,7 +166,7 @@ impl SpinBarrier {
             {
                 // Pair with parked waiters: publish under the lock so a
                 // thread checking-then-parking cannot miss the wake-up.
-                let _guard = self.park_lock.lock();
+                let _guard = lock_park(&self.park_lock);
                 self.generation.fetch_add(1, Ordering::Release);
             }
             self.park_cond.notify_all();
@@ -196,9 +202,12 @@ impl SpinBarrier {
                 while self.generation.load(Ordering::Acquire) == gen {
                     if backoff.step() >= spin_steps {
                         // Spin budget exhausted: park until released.
-                        let mut guard = self.park_lock.lock();
+                        let mut guard = lock_park(&self.park_lock);
                         while self.generation.load(Ordering::Acquire) == gen {
-                            self.park_cond.wait(&mut guard);
+                            guard = self
+                                .park_cond
+                                .wait(guard)
+                                .unwrap_or_else(PoisonError::into_inner);
                         }
                         break;
                     }

@@ -101,6 +101,40 @@ fn ticket_lock_under_oversubscription() {
 }
 
 #[test]
+fn queue_policy_oversubscribed() {
+    // More threads than most CI hosts have cores, with a spin budget tiny
+    // enough that waiters genuinely park on the condition variable: the
+    // Section-7 "queue on a condition variable" path must neither deadlock
+    // nor release anyone early.
+    let n = 8;
+    let rounds = 30;
+    let barrier = Arc::new(SpinBarrier::with_policy(n, WaitPolicy::queue_after(1)));
+    let arrived = Arc::new(AtomicUsize::new(0));
+    let leads = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            let b = Arc::clone(&barrier);
+            let a = Arc::clone(&arrived);
+            let l = Arc::clone(&leads);
+            s.spawn(move || {
+                for round in 0..rounds {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    if b.wait() {
+                        l.fetch_add(1, Ordering::SeqCst);
+                    }
+                    assert!(
+                        a.load(Ordering::SeqCst) >= (round + 1) * n,
+                        "escaped the barrier early while parked"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(barrier.generation(), rounds);
+    assert_eq!(leads.load(Ordering::SeqCst), rounds, "one leader per round");
+}
+
+#[test]
 fn combining_tree_many_shapes() {
     for (n, degree) in [(6, 2), (8, 4), (9, 3), (16, 2)] {
         let rounds = 15;
