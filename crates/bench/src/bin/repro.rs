@@ -5,83 +5,210 @@
 //! cargo run -p abs-bench --release --bin repro -- fig7 fig10
 //! cargo run -p abs-bench --release --bin repro -- --quick table1
 //! cargo run -p abs-bench --release --bin repro -- --csv out/ fig5
+//! cargo run -p abs-bench --release --bin repro -- --jobs 8 all
+//! cargo run -p abs-bench --release --bin repro -- --resume all
 //! ```
+//!
+//! Exhibits run on the `abs-exec` engine: `--jobs N` exhibits at a time,
+//! committed to stdout in request order, so the output is **bit-identical
+//! at any `--jobs` value**. A panicking exhibit is isolated — the others
+//! still print and the process exits nonzero. Every run writes
+//! `repro_manifest.json` (seed, config, git commit, per-exhibit status and
+//! timings) into the output directory; `--resume` loads it and skips
+//! exhibits already recorded as completed under the same seed/config.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use abs_bench::cli::{self, CliOptions, Parsed};
 use abs_bench::{experiments, ReproConfig};
-
-const IDS: &[&str] = &[
-    "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-    "fig9", "fig10", "hw", "sec71", "resource", "netback", "combining", "ablations", "single", "snoopy",
-];
+use abs_exec::{available_parallelism, git_commit, Engine, ExecConfig, JobSet};
+use abs_exec::{JobRecord, JobStatus, RunManifest};
 
 fn main() -> ExitCode {
-    let mut config = ReproConfig::paper();
-    let mut csv_dir: Option<PathBuf> = None;
-    let mut targets: Vec<String> = Vec::new();
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => config = ReproConfig::quick(),
-            "--reps" => {
-                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
-                    eprintln!("--reps needs a positive integer");
-                    return ExitCode::FAILURE;
-                };
-                config.reps = v;
-            }
-            "--seed" => {
-                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
-                    eprintln!("--seed needs an integer");
-                    return ExitCode::FAILURE;
-                };
-                config.seed = v;
-            }
-            "--csv" => {
-                let Some(dir) = args.next() else {
-                    eprintln!("--csv needs a directory");
-                    return ExitCode::FAILURE;
-                };
-                csv_dir = Some(PathBuf::from(dir));
-            }
-            "--help" | "-h" => {
-                print_help();
-                return ExitCode::SUCCESS;
-            }
-            "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
-            other if IDS.contains(&other) => targets.push(other.to_string()),
-            other => {
-                eprintln!("unknown experiment {other:?}; known: {}", IDS.join(" "));
-                return ExitCode::FAILURE;
-            }
+    match cli::parse_args(std::env::args().skip(1), available_parallelism()) {
+        Parsed::Help => {
+            println!("{}", cli::help());
+            ExitCode::SUCCESS
         }
-    }
-    if targets.is_empty() {
-        print_help();
-        return ExitCode::FAILURE;
-    }
-    if let Some(dir) = &csv_dir {
-        if let Err(e) = fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+        Parsed::Error(message) => {
+            eprintln!("{message}\n\n{}", cli::help());
+            ExitCode::FAILURE
         }
+        Parsed::Run(options) => run(options),
     }
-
-    for id in targets {
-        run_one(&id, &config, csv_dir.as_deref());
-    }
-    ExitCode::SUCCESS
 }
 
-fn run_one(id: &str, config: &ReproConfig, csv_dir: Option<&std::path::Path>) {
-    // Each experiment yields either a table (printed as-is) or a series
-    // set (printed as a table, exported as CSV).
+/// The workspace `repro_out/` directory (manifest home when `--csv` is not
+/// given).
+fn default_out_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../repro_out")
+}
+
+/// Config pairs that must match for `--resume` to trust a manifest.
+fn config_pairs(config: &ReproConfig) -> Vec<(String, String)> {
+    vec![
+        ("reps".to_string(), config.reps.to_string()),
+        ("procs".to_string(), config.procs.to_string()),
+        ("max_n".to_string(), config.max_n.to_string()),
+    ]
+}
+
+fn run(options: CliOptions) -> ExitCode {
+    let out_dir = options.csv_dir.clone().unwrap_or_else(default_out_dir);
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let pairs = config_pairs(&options.config);
+    let manifest_path = out_dir.join(RunManifest::file_name("repro"));
+
+    // --resume: trust only a manifest produced under the identical
+    // seed/reps/scale configuration.
+    let mut prior: Option<RunManifest> = None;
+    if options.resume {
+        match RunManifest::load(&manifest_path) {
+            Ok(m) if m.matches(options.config.seed, &pairs) => prior = Some(m),
+            Ok(_) => eprintln!(
+                "--resume: {} was produced under a different seed/config; rerunning everything",
+                manifest_path.display()
+            ),
+            Err(e) => eprintln!("--resume: {e}; rerunning everything"),
+        }
+    }
+    let completed: BTreeSet<String> = prior.as_ref().map(RunManifest::completed).unwrap_or_default();
+    let (skipped, to_run): (Vec<String>, Vec<String>) = options
+        .targets
+        .iter()
+        .cloned()
+        .partition(|t| completed.contains(t));
+    for id in &skipped {
+        eprintln!("{id}: completed in previous run, skipping (--resume)");
+    }
+
+    // Parallelism goes to the outermost layer that can use it: with one
+    // exhibit to run, the sweep inside it fans out over the engine; with
+    // several, the exhibits themselves are the jobs (and sweep inside each
+    // sequentially, keeping the thread count at --jobs).
+    let (pool_workers, inner_jobs) = if to_run.len() <= 1 {
+        (1, options.jobs)
+    } else {
+        (options.jobs.min(to_run.len()), 1)
+    };
+    let inner_config = options.config.with_jobs(inner_jobs);
+
+    let mut set = JobSet::new(options.config.seed);
+    for id in &to_run {
+        let id = id.clone();
+        set.push_seeded(id.clone(), options.config.seed, move |_seed| {
+            render_one(&id, &inner_config)
+        });
+    }
+    let report = Engine::new(ExecConfig::new(pool_workers)).run(set);
+
+    // Commit phase: stdout and CSV files strictly in request order, then
+    // the manifest. Failures never abort the commit of other exhibits.
+    let mut manifest = RunManifest::new("repro", options.config.seed);
+    // Only the pairs that determine the numbers go into config (the resume
+    // equality check); the worker count is observability, recorded below.
+    for (key, value) in &pairs {
+        manifest.set_config(key, value.clone());
+    }
+    manifest.git = git_commit(&PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    manifest.workers = report.workers.len();
+    manifest.elapsed_ms = report.elapsed.as_secs_f64() * 1e3;
+    for id in &skipped {
+        if let Some(record) = prior.as_ref().and_then(|m| m.job(id)) {
+            manifest.push_record(record.clone());
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    for outcome in &report.outcomes {
+        let mut artifact = None;
+        let status = match &outcome.result {
+            Ok(rendered) => {
+                println!("{}", rendered.text);
+                match write_csv(&options, rendered) {
+                    Ok(written) => {
+                        artifact = written;
+                        JobStatus::Ok
+                    }
+                    Err(message) => {
+                        eprintln!("{}: {message}", outcome.name);
+                        JobStatus::Failed(message)
+                    }
+                }
+            }
+            Err(failure) => {
+                eprintln!("{}: {failure}", outcome.name);
+                JobStatus::Failed(failure.message.clone())
+            }
+        };
+        if let JobStatus::Failed(_) = status {
+            failures.push(outcome.name.clone());
+        }
+        manifest.push_record(JobRecord {
+            id: outcome.id,
+            name: outcome.name.clone(),
+            seed: outcome.seed,
+            status,
+            attempts: outcome.stats.attempts,
+            wall_ms: outcome.stats.wall.as_secs_f64() * 1e3,
+            queue_ms: outcome.stats.queue_wait.as_secs_f64() * 1e3,
+            artifact,
+        });
+    }
+
+    match manifest.write_to(&out_dir) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write run manifest to {}: {e}", out_dir.display()),
+    }
+    eprintln!(
+        "repro: {} ok, {} failed, {} skipped in {:.1} ms ({} worker(s), {:.0} % mean utilization)",
+        report.ok_count(),
+        failures.len(),
+        skipped.len(),
+        report.elapsed.as_secs_f64() * 1e3,
+        report.workers.len(),
+        report.mean_utilization() * 100.0
+    );
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("failed: {}", failures.join(" "));
+        ExitCode::FAILURE
+    }
+}
+
+/// Writes the exhibit's CSV when `--csv` was requested; returns the
+/// artifact name.
+fn write_csv(options: &CliOptions, rendered: &Rendered) -> Result<Option<String>, String> {
+    let (Some(dir), Some((name, data))) = (options.csv_dir.as_deref(), rendered.csv.as_ref())
+    else {
+        return Ok(None);
+    };
+    let path = dir.join(name);
+    fs::write(&path, data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(Some(name.clone()))
+}
+
+/// One exhibit's regenerated output: the printable text and, for figure
+/// series, the CSV payload.
+struct Rendered {
+    text: String,
+    csv: Option<(String, String)>,
+}
+
+/// Regenerates one exhibit. Pure: no printing, no filesystem — the commit
+/// phase owns both, so exhibits can run on any worker in any order.
+fn render_one(id: &str, config: &ReproConfig) -> Rendered {
     let mut csv: Option<(String, String)> = None;
-    let rendered = match id {
+    let text = match id {
         "fig1" => experiments::fig1(config).to_string(),
         "table1" => experiments::table1(config).to_string(),
         "table2" => experiments::table2(config).to_string(),
@@ -120,23 +247,7 @@ fn run_one(id: &str, config: &ReproConfig, csv_dir: Option<&std::path::Path>) {
             experiments::ablation_determinism(config),
             experiments::ablation_cap(config)
         ),
-        _ => unreachable!("validated in main"),
+        _ => unreachable!("validated by cli::parse_args"),
     };
-    println!("{rendered}");
-    if let (Some(dir), Some((name, data))) = (csv_dir, csv) {
-        let path = dir.join(name);
-        match fs::write(&path, data) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
-        }
-    }
-}
-
-fn print_help() {
-    println!(
-        "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--reps N] [--seed S] [--csv DIR] <id>... | all\n\n\
-         experiments: {}",
-        IDS.join(" ")
-    );
+    Rendered { text, csv }
 }

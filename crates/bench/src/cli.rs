@@ -1,0 +1,237 @@
+//! Argument parsing for the `repro` binary, kept in the library so the
+//! validation rules (target dedup, `--reps`/`--jobs` bounds) are unit
+//! tested rather than exercised only by hand.
+
+use std::path::PathBuf;
+
+use crate::ReproConfig;
+
+/// Every experiment id `repro` knows, in presentation order (`all` expands
+/// to this list).
+pub const IDS: &[&str] = &[
+    "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "hw", "sec71", "resource", "netback", "combining", "ablations", "single",
+    "snoopy",
+];
+
+/// A fully validated `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Repetition/seed/scale configuration (without `jobs` applied).
+    pub config: ReproConfig,
+    /// Directory to write per-exhibit CSV files into, if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Worker threads for the execution engine.
+    pub jobs: usize,
+    /// Skip exhibits recorded as completed in the run manifest.
+    pub resume: bool,
+    /// Deduplicated experiment ids, in first-mention order.
+    pub targets: Vec<String>,
+}
+
+/// What `main` should do with the parsed arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed {
+    /// Run the targets.
+    Run(CliOptions),
+    /// Print help and exit successfully.
+    Help,
+    /// Reject the invocation with this message.
+    Error(String),
+}
+
+/// Parses the argument list (without the program name).
+///
+/// `default_jobs` seeds `--jobs` when the flag is absent; callers pass the
+/// host's available parallelism.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) -> Parsed {
+    let mut config = ReproConfig::paper();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut jobs = default_jobs.max(1);
+    let mut resume = false;
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                // Preserve an earlier --reps/--seed override only if it was
+                // explicitly given after --quick; flags are order-sensitive
+                // like the original CLI.
+                config = ReproConfig::quick();
+            }
+            "--reps" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    return Parsed::Error("--reps needs a positive integer".into());
+                };
+                if v == 0 {
+                    return Parsed::Error(
+                        "--reps 0 would aggregate nothing; use --reps 1 or more".into(),
+                    );
+                }
+                config.reps = v;
+            }
+            "--seed" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    return Parsed::Error("--seed needs an integer".into());
+                };
+                config.seed = v;
+            }
+            "--jobs" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return Parsed::Error("--jobs needs a positive integer".into());
+                };
+                if v == 0 {
+                    return Parsed::Error(
+                        "--jobs 0 would run nothing; use --jobs 1 or more".into(),
+                    );
+                }
+                jobs = v;
+            }
+            "--resume" => resume = true,
+            "--csv" => {
+                let Some(dir) = args.next() else {
+                    return Parsed::Error("--csv needs a directory".into());
+                };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Parsed::Help,
+            "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
+            other if IDS.contains(&other) => targets.push(other.to_string()),
+            other => {
+                return Parsed::Error(format!(
+                    "unknown experiment {other:?}; known: {}",
+                    IDS.join(" ")
+                ));
+            }
+        }
+    }
+    if targets.is_empty() {
+        return Parsed::Error("no experiments requested".into());
+    }
+    dedup_preserving_order(&mut targets);
+    Parsed::Run(CliOptions {
+        config,
+        csv_dir,
+        jobs,
+        resume,
+        targets,
+    })
+}
+
+/// Drops later duplicates, keeping first-mention order (`repro all fig7`
+/// runs `fig7` once, in its `all` position).
+fn dedup_preserving_order(targets: &mut Vec<String>) {
+    let mut seen = std::collections::BTreeSet::new();
+    targets.retain(|t| seen.insert(t.clone()));
+}
+
+/// The help text.
+pub fn help() -> String {
+    format!(
+        "repro — regenerate the paper's tables and figures\n\n\
+         usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--resume] [--csv DIR] <id>... | all\n\n\
+         --jobs N    run exhibits on N worker threads (default: available\n\
+        \x20            parallelism); output is bit-identical at any N\n\
+         --resume    skip exhibits recorded as completed in repro_out/'s\n\
+        \x20            run manifest (same seed/reps config required)\n\n\
+         experiments: {}",
+        IDS.join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Parsed {
+        parse_args(args.iter().map(|s| s.to_string()), 4)
+    }
+
+    fn options(args: &[&str]) -> CliOptions {
+        match parse(args) {
+            Parsed::Run(o) => o,
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_expands_and_deduplicates() {
+        let o = options(&["all", "fig7"]);
+        assert_eq!(o.targets.len(), IDS.len());
+        assert_eq!(o.targets.iter().filter(|t| *t == "fig7").count(), 1);
+        // fig7 keeps its `all` position, not the trailing mention.
+        assert_eq!(o.targets, IDS.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_explicit_targets_deduplicate() {
+        let o = options(&["fig7", "fig5", "fig7"]);
+        assert_eq!(o.targets, vec!["fig7", "fig5"]);
+    }
+
+    #[test]
+    fn zero_reps_rejected() {
+        assert_eq!(
+            parse(&["--reps", "0", "fig7"]),
+            Parsed::Error("--reps 0 would aggregate nothing; use --reps 1 or more".into())
+        );
+    }
+
+    #[test]
+    fn zero_jobs_rejected() {
+        assert!(matches!(parse(&["--jobs", "0", "fig7"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn missing_flag_values_rejected() {
+        assert!(matches!(parse(&["--reps"]), Parsed::Error(_)));
+        assert!(matches!(parse(&["--jobs", "x", "fig7"]), Parsed::Error(_)));
+        assert!(matches!(parse(&["--csv"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        match parse(&["fig99"]) {
+            Parsed::Error(msg) => assert!(msg.contains("fig99")),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_invocation_is_an_error() {
+        assert_eq!(parse(&[]), Parsed::Error("no experiments requested".into()));
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        let o = options(&["--quick", "--jobs", "2", "--resume", "--csv", "out", "fig5"]);
+        assert_eq!(o.config.reps, ReproConfig::quick().reps);
+        assert_eq!(o.jobs, 2);
+        assert!(o.resume);
+        assert_eq!(o.csv_dir, Some(PathBuf::from("out")));
+        assert_eq!(o.targets, vec!["fig5"]);
+    }
+
+    #[test]
+    fn default_jobs_comes_from_caller() {
+        let o = options(&["fig5"]);
+        assert_eq!(o.jobs, 4);
+        assert!(!o.resume);
+    }
+
+    #[test]
+    fn help_flag_wins() {
+        assert_eq!(parse(&["--help"]), Parsed::Help);
+        assert_eq!(parse(&["fig5", "-h"]), Parsed::Help);
+    }
+
+    #[test]
+    fn ids_match_experiment_registry() {
+        // Every id is unique.
+        let mut sorted: Vec<_> = IDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), IDS.len());
+    }
+}

@@ -2,6 +2,7 @@
 
 use abs_coherence::{CacheGeometry, DirectorySystem, PointerLimit, SyncCaching};
 use abs_core::{aggregate_runs, amortized_traffic, BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_exec::{Engine, ExecConfig, JobSet};
 use abs_model::HardwareScheme;
 use abs_sim::series::SeriesSet;
 use abs_sim::sweep::power_of_two_counts;
@@ -10,6 +11,39 @@ use abs_trace::{intervals, Scheduler};
 
 use crate::ReproConfig;
 
+/// Evaluates one closure per sweep point, fanning the points out over an
+/// `abs-exec` engine when `config.jobs > 1`.
+///
+/// The closure is a pure function of `(point, seed)` with `seed` fixed to
+/// `config.seed`, and the engine commits results in job-id (= point) order,
+/// so the returned vector is bit-for-bit the same at any worker count. A
+/// panicking point propagates the panic to the caller, mirroring the
+/// sequential path.
+fn sweep_points<P, T, F>(points: &[P], config: &ReproConfig, eval: F) -> Vec<T>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, u64) -> T + Send + Sync,
+{
+    if config.jobs <= 1 {
+        return points.iter().map(|p| eval(p, config.seed)).collect();
+    }
+    let engine = Engine::new(ExecConfig::new(config.jobs));
+    let mut set = JobSet::new(config.seed);
+    let eval = &eval;
+    for (i, point) in points.iter().enumerate() {
+        // Every point receives the master seed, exactly as the sequential
+        // loops pass `config.seed` to `aggregate_runs`.
+        set.push_seeded(format!("point{i}"), config.seed, move |seed| {
+            eval(point, seed)
+        });
+    }
+    engine
+        .run(set)
+        .into_values()
+        .unwrap_or_else(|e| panic!("sweep point failed: {e}"))
+}
+
 /// **Figure 4**: the analytic models against no-backoff simulation for
 /// `A ∈ {0, 100, 1000}`.
 pub fn fig4(config: &ReproConfig) -> SeriesSet {
@@ -17,6 +51,15 @@ pub fn fig4(config: &ReproConfig) -> SeriesSet {
         "Figure 4: model predictions vs simulated network accesses (no backoff)",
         "N",
     );
+    let points: Vec<(usize, u64)> = power_of_two_counts(config.max_n)
+        .into_iter()
+        .flat_map(|n| [0u64, 100, 1000].into_iter().map(move |a| (n, a)))
+        .collect();
+    let reps = config.reps;
+    let simulated = sweep_points(&points, config, move |&(n, a), seed| {
+        let sim = BarrierSim::new(BarrierConfig::new(n, a), BackoffPolicy::None);
+        aggregate_runs(&sim, reps, seed).mean_accesses()
+    });
     for n in power_of_two_counts(config.max_n) {
         set.add_point("A<<N (Model 1)", n as f64, abs_model::model1_accesses(n));
         set.add_point(
@@ -29,11 +72,9 @@ pub fn fig4(config: &ReproConfig) -> SeriesSet {
             n as f64,
             abs_model::model2_accesses(n, 1000.0),
         );
-        for a in [0u64, 100, 1000] {
-            let sim = BarrierSim::new(BarrierConfig::new(n, a), BackoffPolicy::None);
-            let agg = aggregate_runs(&sim, config.reps, config.seed);
-            set.add_point(&format!("A={a} (Sim)"), n as f64, agg.mean_accesses());
-        }
+    }
+    for (&(n, a), accesses) in points.iter().zip(simulated) {
+        set.add_point(&format!("A={a} (Sim)"), n as f64, accesses);
     }
     set
 }
@@ -65,13 +106,19 @@ pub fn barrier_figures(a: u64, config: &ReproConfig) -> BarrierFigures {
         format!("{wait_fig}: waiting time per process (cycles), A = {a}"),
         "N",
     );
-    for n in power_of_two_counts(config.max_n) {
-        for policy in BackoffPolicy::figure_policies() {
-            let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
-            let agg = aggregate_runs(&sim, config.reps, config.seed);
-            accesses.add_point(&policy.label(), n as f64, agg.mean_accesses());
-            waiting.add_point(&policy.label(), n as f64, agg.mean_waiting());
-        }
+    let points: Vec<(usize, BackoffPolicy)> = power_of_two_counts(config.max_n)
+        .into_iter()
+        .flat_map(|n| BackoffPolicy::figure_policies().into_iter().map(move |p| (n, p)))
+        .collect();
+    let reps = config.reps;
+    let results = sweep_points(&points, config, move |&(n, policy), seed| {
+        let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
+        let agg = aggregate_runs(&sim, reps, seed);
+        (agg.mean_accesses(), agg.mean_waiting())
+    });
+    for (&(n, policy), (acc, wait)) in points.iter().zip(results) {
+        accesses.add_point(&policy.label(), n as f64, acc);
+        waiting.add_point(&policy.label(), n as f64, wait);
     }
     BarrierFigures { accesses, waiting }
 }
@@ -219,6 +266,23 @@ mod tests {
             b8.y_at(64.0).unwrap() > 1.5 * plain.y_at(64.0).unwrap(),
             "base-8 waiting must overshoot at N=64, A=1000"
         );
+    }
+
+    #[test]
+    fn parallel_sweeps_are_bit_identical() {
+        // The engine path (jobs > 1) must reproduce the sequential path
+        // exactly — same series, same point order, same bits.
+        let sequential = barrier_figures(100, &quick());
+        for jobs in [2, 8] {
+            let parallel = barrier_figures(100, &quick().with_jobs(jobs));
+            assert_eq!(parallel, sequential, "{jobs} jobs");
+            assert_eq!(
+                parallel.accesses.to_csv(),
+                sequential.accesses.to_csv(),
+                "{jobs} jobs csv"
+            );
+        }
+        assert_eq!(fig4(&quick().with_jobs(4)), fig4(&quick()));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | `snoopy` | Sec. 2.1 snoopy-bus contrast | [`experiments::snoopy`] |
 //! | `ablations` | arbitration / determinism / cap | [`experiments::ablation_arbitration`] et al. |
 
+pub mod cli;
 pub mod experiments;
 pub mod harness;
 
@@ -40,6 +41,10 @@ pub struct ReproConfig {
     /// Largest processor count in the barrier sweeps (the paper plots to
     /// 512).
     pub max_n: usize,
+    /// Worker threads available to sweep-shaped experiments (they fan
+    /// their points out over an `abs-exec` engine when this exceeds 1).
+    /// Results are bit-for-bit identical at any value.
+    pub jobs: usize,
 }
 
 impl ReproConfig {
@@ -50,6 +55,7 @@ impl ReproConfig {
             seed: 0x1989_0605, // ISCA '89, Jerusalem
             procs: 64,
             max_n: 512,
+            jobs: 1,
         }
     }
 
@@ -60,7 +66,14 @@ impl ReproConfig {
             seed: 0x1989_0605,
             procs: 16,
             max_n: 64,
+            jobs: 1,
         }
+    }
+
+    /// The same configuration with `jobs` worker threads.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 }
 

@@ -1,0 +1,383 @@
+//! The worker pool: fixed-size, panic-isolating, id-order committing.
+//!
+//! [`Engine::run`] spawns `workers` scoped threads over a shared injector
+//! queue (a `Mutex`-guarded cursor — jobs are all enqueued up front, so no
+//! condvar is needed). Each worker pops the next job id, executes the job
+//! under [`std::panic::catch_unwind`] with bounded retry, and writes the
+//! outcome into the slot indexed by the job id. Because every job's seed is
+//! fixed at push time and outcomes are committed by id, the returned
+//! [`RunReport`] is bit-for-bit identical at any worker count — only the
+//! timing counters differ.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::job::{JobFailure, JobOutcome, JobSet, JobStats};
+
+/// Sizing and robustness knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads (at least 1; clamped to the job count at
+    /// run time).
+    pub workers: usize,
+    /// How many times a panicking job is re-executed before it is reported
+    /// as failed.
+    pub retries: u32,
+}
+
+impl ExecConfig {
+    /// A pool of `workers` threads with no retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        Self {
+            workers,
+            retries: 0,
+        }
+    }
+
+    /// One worker per available hardware thread (fallback: 1).
+    pub fn host_parallelism() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// Sets the bounded retry count.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::host_parallelism()
+    }
+}
+
+/// The number of hardware threads the host reports (fallback: 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A deterministic parallel executor for [`JobSet`]s.
+///
+/// # Examples
+///
+/// ```
+/// use abs_exec::{Engine, ExecConfig, JobSet};
+///
+/// let mut set = JobSet::new(99);
+/// for i in 0..16 {
+///     set.push(format!("square{i}"), move |_seed| i * i);
+/// }
+/// let report = Engine::new(ExecConfig::new(4)).run(set);
+/// assert!(report.is_success());
+/// let values = report.into_values().unwrap();
+/// assert_eq!(values[5], 25); // id order, not completion order
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Engine {
+    config: ExecConfig,
+}
+
+impl Engine {
+    /// An engine with the given pool configuration.
+    pub fn new(config: ExecConfig) -> Self {
+        Self { config }
+    }
+
+    /// A one-worker engine (the sequential reference executor).
+    pub fn single_threaded() -> Self {
+        Self::new(ExecConfig::new(1))
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Executes every job in `set` and returns the outcomes in job-id
+    /// order.
+    ///
+    /// Panicking jobs are retried up to `retries` times and then reported
+    /// as [`JobFailure`]s in their slot; the other jobs' results are
+    /// unaffected. The call itself never panics because of a job panic.
+    pub fn run<T: Send>(&self, set: JobSet<'_, T>) -> RunReport<T> {
+        let jobs = set.into_jobs();
+        let n = jobs.len();
+        let workers = self.config.workers.min(n).max(1);
+        let retries = self.config.retries;
+        let start = Instant::now();
+
+        let next: Mutex<usize> = Mutex::new(0);
+        let slots: Mutex<Vec<Option<(Result<T, JobFailure>, JobStats)>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let jobs = &jobs;
+                    let next = &next;
+                    let slots = &slots;
+                    s.spawn(move || {
+                        let mut busy = Duration::ZERO;
+                        let mut ran = 0usize;
+                        loop {
+                            let idx = {
+                                let mut cursor = next.lock().unwrap();
+                                if *cursor >= jobs.len() {
+                                    break;
+                                }
+                                let i = *cursor;
+                                *cursor += 1;
+                                i
+                            };
+                            let queue_wait = start.elapsed();
+                            let exec_start = Instant::now();
+                            let mut attempts = 0u32;
+                            let result = loop {
+                                attempts += 1;
+                                match catch_unwind(AssertUnwindSafe(|| jobs[idx].execute())) {
+                                    Ok(value) => break Ok(value),
+                                    Err(payload) if attempts > retries => {
+                                        break Err(JobFailure {
+                                            attempts,
+                                            message: panic_message(payload.as_ref()),
+                                        })
+                                    }
+                                    Err(_) => {} // retry
+                                }
+                            };
+                            let wall = exec_start.elapsed();
+                            busy += wall;
+                            ran += 1;
+                            let stats = JobStats {
+                                queue_wait,
+                                wall,
+                                attempts,
+                                worker,
+                            };
+                            slots.lock().unwrap()[idx] = Some((result, stats));
+                        }
+                        WorkerStats {
+                            worker,
+                            jobs: ran,
+                            busy,
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                worker_stats.push(handle.join().expect("worker threads do not panic"));
+            }
+        });
+
+        let elapsed = start.elapsed();
+        let outcomes = jobs
+            .iter()
+            .zip(slots.into_inner().unwrap())
+            .map(|(job, slot)| {
+                let (result, stats) = slot.expect("every job slot is filled");
+                JobOutcome {
+                    id: job.id(),
+                    name: job.name().to_string(),
+                    seed: job.seed(),
+                    result,
+                    stats,
+                }
+            })
+            .collect();
+        RunReport {
+            outcomes,
+            workers: worker_stats,
+            elapsed,
+        }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-worker occupancy counters for one [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Jobs this worker completed.
+    pub jobs: usize,
+    /// Total wall time spent executing jobs.
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Fraction of the run this worker spent executing jobs.
+    pub fn utilization(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// All failures of one run, for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// `(job name, failure)` for every failed job, in job-id order.
+    pub failures: Vec<(String, JobFailure)>,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} job(s) failed:", self.failures.len())?;
+        for (name, failure) in &self.failures {
+            writeln!(f, "  {name}: {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcomes and counters of one [`Engine::run`], in job-id order.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// One outcome per job, indexed by job id.
+    pub outcomes: Vec<JobOutcome<T>>,
+    /// Per-worker occupancy.
+    pub workers: Vec<WorkerStats>,
+    /// Total wall time of the run.
+    pub elapsed: Duration,
+}
+
+impl<T> RunReport<T> {
+    /// Number of jobs that produced a value.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.result.is_ok()).count()
+    }
+
+    /// The failed outcomes, in job-id order.
+    pub fn failed(&self) -> Vec<&JobOutcome<T>> {
+        self.outcomes.iter().filter(|o| o.result.is_err()).collect()
+    }
+
+    /// Whether every job produced a value.
+    pub fn is_success(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// Mean worker utilization over the run.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers
+            .iter()
+            .map(|w| w.utilization(self.elapsed))
+            .sum::<f64>()
+            / self.workers.len() as f64
+    }
+
+    /// The values in job-id order, or an [`ExecError`] naming every failed
+    /// job.
+    pub fn into_values(self) -> Result<Vec<T>, ExecError> {
+        let mut values = Vec::with_capacity(self.outcomes.len());
+        let mut failures = Vec::new();
+        for outcome in self.outcomes {
+            match outcome.result {
+                Ok(v) => values.push(v),
+                Err(f) => failures.push((outcome.name, f)),
+            }
+        }
+        if failures.is_empty() {
+            Ok(values)
+        } else {
+            Err(ExecError { failures })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSet;
+
+    #[test]
+    fn empty_set_runs() {
+        let report = Engine::single_threaded().run(JobSet::<u64>::new(0));
+        assert!(report.is_success());
+        assert_eq!(report.outcomes.len(), 0);
+        assert_eq!(report.into_values().unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn values_commit_in_id_order() {
+        let mut set = JobSet::new(3);
+        for i in 0..32u64 {
+            set.push(format!("j{i}"), move |_| i);
+        }
+        let values = Engine::new(ExecConfig::new(8)).run(set).into_values().unwrap();
+        assert_eq!(values, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn workers_clamped_to_job_count() {
+        let mut set = JobSet::new(0);
+        set.push("only", |s| s);
+        let report = Engine::new(ExecConfig::new(16)).run(set);
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.workers[0].jobs, 1);
+    }
+
+    #[test]
+    fn retry_counts_attempts() {
+        let mut set = JobSet::new(0);
+        set.push("boom", |_| -> u64 { panic!("always") });
+        let report = Engine::new(ExecConfig::new(1).with_retries(2)).run(set);
+        let failure = report.outcomes[0].result.as_ref().unwrap_err();
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(failure.message, "always");
+        assert_eq!(report.outcomes[0].stats.attempts, 3);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let mut set = JobSet::new(0);
+        for i in 0..4 {
+            set.push(format!("spin{i}"), |seed| {
+                let mut acc = seed;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            });
+        }
+        let report = Engine::new(ExecConfig::new(2)).run(set);
+        for w in &report.workers {
+            let u = w.utilization(report.elapsed);
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        assert!(report.mean_utilization() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ExecConfig::new(0);
+    }
+}

@@ -79,6 +79,18 @@ impl Repetitions {
         self.seed
     }
 
+    /// The per-repetition seeds, in repetition order.
+    ///
+    /// This is the exact seed sequence [`run`](Self::run) feeds the
+    /// experiment; parallel executors (e.g. `abs-exec`) use it to build one
+    /// job per repetition and then fold the results back with
+    /// [`collect_runs`](Self::collect_runs).
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..u64::from(self.runs))
+            .map(|i| derive_seed(self.seed, i))
+            .collect()
+    }
+
     /// Executes the experiment once per repetition and aggregates metrics.
     ///
     /// # Panics
@@ -93,6 +105,46 @@ impl Repetitions {
         for i in 0..self.runs {
             let run_seed = derive_seed(self.seed, i as u64);
             let metrics = experiment(run_seed);
+            if i == 0 {
+                names = metrics.iter().map(|(n, _)| *n).collect();
+                stats = vec![OnlineStats::new(); metrics.len()];
+            }
+            assert_eq!(
+                metrics.len(),
+                stats.len(),
+                "every run must return the same metrics"
+            );
+            for (j, (_, v)) in metrics.into_iter().enumerate() {
+                stats[j].push(v);
+            }
+        }
+        SweepOutcome {
+            runs: self.runs,
+            names,
+            stats,
+        }
+    }
+
+    /// Aggregates pre-computed per-run metric vectors, one per repetition
+    /// in repetition order — the commit half of the parallel path.
+    ///
+    /// `collect_runs(runs)` equals `run(f)` whenever `runs[i] ==
+    /// f(seeds()[i])`: the fold is the same streaming push, in the same
+    /// order, as the sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs.len()` differs from [`runs`](Self::runs) or the
+    /// metric vectors disagree in length.
+    pub fn collect_runs(&self, runs: Vec<Vec<(&'static str, f64)>>) -> SweepOutcome {
+        assert_eq!(
+            runs.len(),
+            self.runs as usize,
+            "one metric vector per repetition is required"
+        );
+        let mut names: Vec<&'static str> = Vec::new();
+        let mut stats: Vec<OnlineStats> = Vec::new();
+        for (i, metrics) in runs.into_iter().enumerate() {
             if i == 0 {
                 names = metrics.iter().map(|(n, _)| *n).collect();
                 stats = vec![OnlineStats::new(); metrics.len()];
@@ -231,6 +283,37 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn collect_runs_equals_run() {
+        let reps = Repetitions::new(25, 4242);
+        let f = |seed: u64| {
+            vec![
+                ("m1", (seed % 97) as f64),
+                ("m2", (seed % 13) as f64 * 0.5),
+            ]
+        };
+        let sequential = reps.run(f);
+        let collected = reps.collect_runs(reps.seeds().into_iter().map(f).collect());
+        assert_eq!(collected, sequential);
+    }
+
+    #[test]
+    fn seeds_match_run_order() {
+        let reps = Repetitions::new(6, 77);
+        let mut observed = Vec::new();
+        reps.run(|s| {
+            observed.push(s);
+            vec![("x", 0.0)]
+        });
+        assert_eq!(reps.seeds(), observed);
+    }
+
+    #[test]
+    #[should_panic(expected = "one metric vector per repetition")]
+    fn collect_runs_rejects_wrong_count() {
+        Repetitions::new(3, 0).collect_runs(vec![vec![("a", 1.0)]]);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`model`] — the analytic Models 1 and 2 and hardware-barrier baselines.
 //! * [`sync`] — real-thread spin barriers and locks with the paper's backoff
 //!   policies, built on `std::sync::atomic`.
+//! * [`exec`] — the deterministic parallel execution engine: seeded job
+//!   sets, a fixed-size worker pool with id-ordered commit, panic
+//!   isolation, and JSON run manifests for `--resume`.
 //!
 //! # Quick start
 //!
@@ -43,6 +46,7 @@
 
 pub use abs_coherence as coherence;
 pub use abs_core as core;
+pub use abs_exec as exec;
 pub use abs_model as model;
 pub use abs_net as net;
 pub use abs_sim as sim;

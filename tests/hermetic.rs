@@ -122,8 +122,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_a_path_based_workspace_crate() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 8,
-        "expected the root and at least seven crates, found {}",
+        manifests.len() >= 9,
+        "expected the root and at least eight crates, found {}",
         manifests.len()
     );
 
@@ -149,9 +149,9 @@ fn every_dependency_is_a_path_based_workspace_crate() {
          (declare the code in-tree instead):\n{}",
         violations.join("\n")
     );
-    // The workspace facade alone pulls in seven crates; if parsing ever
+    // The workspace facade alone pulls in eight crates; if parsing ever
     // silently breaks, this floor catches it.
-    assert!(checked >= 14, "only {checked} dependency entries parsed");
+    assert!(checked >= 16, "only {checked} dependency entries parsed");
 }
 
 #[test]
@@ -183,6 +183,11 @@ fn path_dependencies_resolve_to_workspace_crates() {
             }
         }
     }
-    // All seven library crates are reachable by path from the root manifest.
-    assert_eq!(seen.len(), 7, "expected 7 distinct path targets: {seen:?}");
+    // All eight library crates (including `abs-exec`) are reachable by
+    // path from the root manifest.
+    assert_eq!(seen.len(), 8, "expected 8 distinct path targets: {seen:?}");
+    assert!(
+        seen.iter().any(|p| p.ends_with("crates/exec")),
+        "abs-exec must be registered as a path dependency: {seen:?}"
+    );
 }
