@@ -1,0 +1,65 @@
+//! Recorder-overhead bench: what does the observability layer cost?
+//!
+//! Three variants of the same barrier episode:
+//!
+//! * `untraced` — `run()`, the plain entry point (which internally is
+//!   `run_traced(&mut Noop)`); the acceptance bar is that this shows no
+//!   measurable regression against the pre-instrumentation simulator.
+//! * `noop-sink` — `run_traced(&mut Noop)` called explicitly; must be
+//!   indistinguishable from `untraced` (it is the same monomorphization).
+//! * `ring-sink` — `run_traced(&mut Ring)` with a reused ring, the real
+//!   cost of recording every event.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use abs_bench::harness::{Bench, BenchConfig};
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_obs::trace::{Noop, Ring};
+
+fn configure() -> BenchConfig {
+    BenchConfig {
+        sample_count: 20,
+        warmup: Duration::from_millis(200),
+        measurement: Duration::from_millis(800),
+    }
+}
+
+fn bench_sinks(bench: &mut Bench) {
+    for (name, a, policy) in [
+        ("A=0 no backoff", 0u64, BackoffPolicy::None),
+        ("A=1000 base 2", 1000, BackoffPolicy::exponential(2)),
+    ] {
+        let mut group = bench.group(&format!("obs_overhead/{name}"));
+        let sim = BarrierSim::new(BarrierConfig::new(64, a), policy);
+
+        let mut seed = 0u64;
+        group.bench("untraced", || {
+            seed = seed.wrapping_add(1);
+            black_box(sim.run(seed));
+        });
+
+        let mut seed = 0u64;
+        group.bench("noop-sink", || {
+            seed = seed.wrapping_add(1);
+            black_box(sim.run_traced(seed, &mut Noop));
+        });
+
+        let mut seed = 0u64;
+        let mut ring = Ring::default();
+        group.bench("ring-sink", || {
+            seed = seed.wrapping_add(1);
+            ring.clear();
+            black_box(sim.run_traced(seed, &mut ring));
+            black_box(ring.len());
+        });
+
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut bench = Bench::with_config("obs_overhead", configure());
+    bench_sinks(&mut bench);
+    bench.finish();
+}

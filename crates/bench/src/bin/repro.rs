@@ -7,6 +7,8 @@
 //! cargo run -p abs-bench --release --bin repro -- --csv out/ fig5
 //! cargo run -p abs-bench --release --bin repro -- --jobs 8 all
 //! cargo run -p abs-bench --release --bin repro -- --resume all
+//! cargo run -p abs-bench --release --bin repro -- --trace t.json --metrics fig7
+//! cargo run -p abs-bench --release --bin repro -- --list
 //! ```
 //!
 //! Exhibits run on the `abs-exec` engine: `--jobs N` exhibits at a time,
@@ -16,6 +18,11 @@
 //! `repro_manifest.json` (seed, config, git commit, per-exhibit status and
 //! timings) into the output directory; `--resume` loads it and skips
 //! exhibits already recorded as completed under the same seed/config.
+//!
+//! `--trace FILE` additionally writes a Chrome trace-event JSON document:
+//! simulated-clock lanes (one process per traced episode, deterministic
+//! for the seed at any `--jobs` count) plus wall-clock worker lanes under
+//! pid 0. `--metrics` prints a metrics snapshot of the run to stdout.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -23,14 +30,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use abs_bench::cli::{self, CliOptions, Parsed};
-use abs_bench::{experiments, ReproConfig};
-use abs_exec::{available_parallelism, git_commit, Engine, ExecConfig, JobSet};
+use abs_bench::render::{assemble_sim_trace, render_one, Rendered};
+use abs_bench::ReproConfig;
+use abs_exec::{available_parallelism, git_commit, Engine, ExecConfig, JobSet, RunReport};
 use abs_exec::{JobRecord, JobStatus, RunManifest};
+use abs_obs::ascii::timeline;
+use abs_obs::chrome::{exec_report_lanes, validate, ChromeTrace, WALL_PID};
+use abs_obs::metrics::Registry;
+use abs_obs::trace::Event;
 
 fn main() -> ExitCode {
     match cli::parse_args(std::env::args().skip(1), available_parallelism()) {
         Parsed::Help => {
             println!("{}", cli::help());
+            ExitCode::SUCCESS
+        }
+        Parsed::List => {
+            println!("{}", cli::list());
             ExitCode::SUCCESS
         }
         Parsed::Error(message) => {
@@ -99,12 +115,13 @@ fn run(options: CliOptions) -> ExitCode {
         (options.jobs.min(to_run.len()), 1)
     };
     let inner_config = options.config.with_jobs(inner_jobs);
+    let tracing = options.trace.is_some();
 
     let mut set = JobSet::new(options.config.seed);
     for id in &to_run {
         let id = id.clone();
         set.push_seeded(id.clone(), options.config.seed, move |_seed| {
-            render_one(&id, &inner_config)
+            render_one(&id, &inner_config, tracing)
         });
     }
     let report = Engine::new(ExecConfig::new(pool_workers)).run(set);
@@ -127,11 +144,17 @@ fn run(options: CliOptions) -> ExitCode {
     }
 
     let mut failures: Vec<String> = Vec::new();
+    // Traced units of every successful exhibit, in request (commit) order —
+    // the lane layout is therefore independent of the worker count.
+    let mut trace_units: Vec<(String, Vec<Event>)> = Vec::new();
     for outcome in &report.outcomes {
         let mut artifact = None;
         let status = match &outcome.result {
             Ok(rendered) => {
                 println!("{}", rendered.text);
+                for (unit, events) in &rendered.trace {
+                    trace_units.push((format!("{}: {unit}", outcome.name), events.clone()));
+                }
                 match write_csv(&options, rendered) {
                     Ok(written) => {
                         artifact = written;
@@ -163,6 +186,20 @@ fn run(options: CliOptions) -> ExitCode {
         });
     }
 
+    let mut trace_event_count = 0usize;
+    if let Some(trace_path) = &options.trace {
+        match write_trace(trace_path, trace_units, &report) {
+            Ok(events) => trace_event_count = events,
+            Err(message) => {
+                eprintln!("--trace: {message}");
+                failures.push("trace".to_string());
+            }
+        }
+    }
+    if options.metrics {
+        print!("{}", run_metrics(&report, &failures, &skipped, trace_event_count).to_text());
+    }
+
     match manifest.write_to(&out_dir) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("cannot write run manifest to {}: {e}", out_dir.display()),
@@ -184,6 +221,65 @@ fn run(options: CliOptions) -> ExitCode {
     }
 }
 
+/// Assembles, validates and writes the Chrome trace file: deterministic
+/// sim-clock units first (pids 1..), then the engine's wall-clock worker
+/// lanes under [`WALL_PID`]. Returns the data-event count. Also prints the
+/// sim lanes as an ASCII heatmap so the trace gets a first look in the
+/// terminal.
+fn write_trace(
+    path: &std::path::Path,
+    units: Vec<(String, Vec<Event>)>,
+    report: &RunReport<Rendered>,
+) -> Result<usize, String> {
+    let sim_events: Vec<Event> = units.iter().flat_map(|(_, e)| e.iter().cloned()).collect();
+    let mut trace: ChromeTrace = assemble_sim_trace(units);
+    trace.name_process(WALL_PID, "abs-exec workers (wall clock)");
+    let (wall_events, wall_lanes) = exec_report_lanes(report);
+    for (tid, name) in wall_lanes {
+        trace.name_thread(WALL_PID, tid, name);
+    }
+    trace.push_events(wall_events);
+    let events = trace.len();
+
+    let doc = trace.to_value();
+    validate(&doc).map_err(|e| format!("internal error: invalid trace: {e}"))?;
+    fs::write(path, doc.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {} ({events} events)", path.display());
+    if !sim_events.is_empty() {
+        eprint!("{}", timeline(&sim_events, 64));
+    }
+    Ok(events)
+}
+
+/// Builds the `--metrics` snapshot from the execution report.
+fn run_metrics(
+    report: &RunReport<Rendered>,
+    failures: &[String],
+    skipped: &[String],
+    trace_events: usize,
+) -> abs_obs::metrics::Snapshot {
+    let mut reg = Registry::new();
+    reg.add("exhibits_ok", report.ok_count() as u64);
+    reg.add("exhibits_failed", failures.len() as u64);
+    reg.add("exhibits_skipped", skipped.len() as u64);
+    reg.set_gauge("elapsed_ms", report.elapsed.as_secs_f64() * 1e3);
+    reg.set_gauge("mean_utilization", report.mean_utilization());
+    reg.set_gauge("workers", report.workers.len() as f64);
+    if trace_events > 0 {
+        reg.add("trace_events", trace_events as u64);
+    }
+    const WALL_BOUNDS: &[f64] = &[1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0];
+    for outcome in &report.outcomes {
+        reg.observe(
+            "job_wall_ms",
+            WALL_BOUNDS,
+            outcome.stats.wall.as_secs_f64() * 1e3,
+        );
+    }
+    reg.snapshot()
+}
+
 /// Writes the exhibit's CSV when `--csv` was requested; returns the
 /// artifact name.
 fn write_csv(options: &CliOptions, rendered: &Rendered) -> Result<Option<String>, String> {
@@ -195,59 +291,4 @@ fn write_csv(options: &CliOptions, rendered: &Rendered) -> Result<Option<String>
     fs::write(&path, data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     eprintln!("wrote {}", path.display());
     Ok(Some(name.clone()))
-}
-
-/// One exhibit's regenerated output: the printable text and, for figure
-/// series, the CSV payload.
-struct Rendered {
-    text: String,
-    csv: Option<(String, String)>,
-}
-
-/// Regenerates one exhibit. Pure: no printing, no filesystem — the commit
-/// phase owns both, so exhibits can run on any worker in any order.
-fn render_one(id: &str, config: &ReproConfig) -> Rendered {
-    let mut csv: Option<(String, String)> = None;
-    let text = match id {
-        "fig1" => experiments::fig1(config).to_string(),
-        "table1" => experiments::table1(config).to_string(),
-        "table2" => experiments::table2(config).to_string(),
-        "table3" => experiments::table3(config).to_string(),
-        "fig3" => experiments::fig3(config).to_string(),
-        "fig4" => {
-            let set = experiments::fig4(config);
-            csv = Some((format!("{id}.csv"), set.to_csv()));
-            set.to_string()
-        }
-        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" => {
-            let a = match id {
-                "fig5" | "fig8" => 0,
-                "fig6" | "fig9" => 100,
-                _ => 1000,
-            };
-            let figs = experiments::barrier_figures(a, config);
-            let set = if matches!(id, "fig5" | "fig6" | "fig7") {
-                figs.accesses
-            } else {
-                figs.waiting
-            };
-            csv = Some((format!("{id}.csv"), set.to_csv()));
-            set.to_string()
-        }
-        "hw" => experiments::hardware(config).to_string(),
-        "sec71" => experiments::sec71(config).to_string(),
-        "resource" => experiments::resource(config).to_string(),
-        "netback" => experiments::netback(config).to_string(),
-        "combining" => experiments::combining(config).to_string(),
-        "single" => experiments::single(config).to_string(),
-        "snoopy" => experiments::snoopy(config).to_string(),
-        "ablations" => format!(
-            "{}\n{}\n{}",
-            experiments::ablation_arbitration(config),
-            experiments::ablation_determinism(config),
-            experiments::ablation_cap(config)
-        ),
-        _ => unreachable!("validated by cli::parse_args"),
-    };
-    Rendered { text, csv }
 }

@@ -14,6 +14,31 @@ pub const IDS: &[&str] = &[
     "snoopy",
 ];
 
+/// One-line descriptions per experiment id, in [`IDS`] order (`repro
+/// --list` prints this table).
+pub const EXHIBITS: &[(&str, &str)] = &[
+    ("fig1", "Figure 1: invalidation histogram (Dir_i NB directory protocol)"),
+    ("table1", "Table 1: invalidating references per application"),
+    ("table2", "Table 2: uncached synchronization traffic"),
+    ("table3", "Table 3: barrier arrival (A) and execution (E) intervals"),
+    ("fig3", "Figure 3: barrier arrival distribution"),
+    ("fig4", "Figure 4: analytic models vs simulation, no backoff"),
+    ("fig5", "Figure 5: network accesses vs N, simultaneous arrival (A=0)"),
+    ("fig6", "Figure 6: network accesses vs N, A=100"),
+    ("fig7", "Figure 7: network accesses vs N, A=1000"),
+    ("fig8", "Figure 8: waiting time vs N, simultaneous arrival (A=0)"),
+    ("fig9", "Figure 9: waiting time vs N, A=100"),
+    ("fig10", "Figure 10: waiting time vs N, A=1000"),
+    ("hw", "Section 5.1: hardware barrier baselines"),
+    ("sec71", "Section 7.1: average-traffic validation"),
+    ("resource", "Section 8: adaptive backoff on resource waits"),
+    ("netback", "Section 8: network backoff policies (hot-spot substrates)"),
+    ("combining", "Section 8: combining-tree barriers"),
+    ("ablations", "Ablations: arbitration policy, determinism, backoff cap"),
+    ("single", "Sections 2 & 4: single-variable barrier"),
+    ("snoopy", "Section 2.1: snoopy-bus contrast"),
+];
+
 /// A fully validated `repro` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CliOptions {
@@ -25,6 +50,10 @@ pub struct CliOptions {
     pub jobs: usize,
     /// Skip exhibits recorded as completed in the run manifest.
     pub resume: bool,
+    /// Write a Chrome trace-event JSON file of the run to this path.
+    pub trace: Option<PathBuf>,
+    /// Print a metrics snapshot of the run to stdout.
+    pub metrics: bool,
     /// Deduplicated experiment ids, in first-mention order.
     pub targets: Vec<String>,
 }
@@ -36,6 +65,8 @@ pub enum Parsed {
     Run(CliOptions),
     /// Print help and exit successfully.
     Help,
+    /// Print the exhibit table and exit successfully.
+    List,
     /// Reject the invocation with this message.
     Error(String),
 }
@@ -49,6 +80,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
     let mut csv_dir: Option<PathBuf> = None;
     let mut jobs = default_jobs.max(1);
     let mut resume = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut targets: Vec<String> = Vec::new();
 
     let mut args = args.into_iter();
@@ -95,6 +128,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
                 };
                 csv_dir = Some(PathBuf::from(dir));
             }
+            "--trace" => {
+                let Some(file) = args.next() else {
+                    return Parsed::Error("--trace needs a file path".into());
+                };
+                trace = Some(PathBuf::from(file));
+            }
+            "--metrics" => metrics = true,
+            "--list" => return Parsed::List,
             "--help" | "-h" => return Parsed::Help,
             "all" => targets.extend(IDS.iter().map(|s| s.to_string())),
             other if IDS.contains(&other) => targets.push(other.to_string()),
@@ -109,12 +150,31 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
     if targets.is_empty() {
         return Parsed::Error("no experiments requested".into());
     }
+    // --resume replays completed exhibits from the manifest without
+    // re-running them, so a combined trace/metrics report would silently
+    // cover only the remainder; reject the combination outright.
+    if resume && trace.is_some() {
+        return Parsed::Error(
+            "--trace cannot be combined with --resume: skipped exhibits would be \
+             missing from the trace; rerun without --resume"
+                .into(),
+        );
+    }
+    if resume && metrics {
+        return Parsed::Error(
+            "--metrics cannot be combined with --resume: skipped exhibits would be \
+             missing from the metrics; rerun without --resume"
+                .into(),
+        );
+    }
     dedup_preserving_order(&mut targets);
     Parsed::Run(CliOptions {
         config,
         csv_dir,
         jobs,
         resume,
+        trace,
+        metrics,
         targets,
     })
 }
@@ -130,14 +190,31 @@ fn dedup_preserving_order(targets: &mut Vec<String>) {
 pub fn help() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--resume] [--csv DIR] <id>... | all\n\n\
+         usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--resume] [--csv DIR]\n\
+        \x20            [--trace FILE] [--metrics] <id>... | all\n\n\
          --jobs N    run exhibits on N worker threads (default: available\n\
         \x20            parallelism); output is bit-identical at any N\n\
          --resume    skip exhibits recorded as completed in repro_out/'s\n\
-        \x20            run manifest (same seed/reps config required)\n\n\
-         experiments: {}",
+        \x20            run manifest (same seed/reps config required);\n\
+        \x20            incompatible with --trace/--metrics\n\
+         --trace F   write a Chrome trace-event JSON file (open in Perfetto\n\
+        \x20            or chrome://tracing); sim lanes are seed-deterministic\n\
+         --metrics   print a metrics snapshot of the run\n\
+         --list      print the exhibit table (id + description) and exit\n\n\
+         experiments: {}\n\
+         (run `repro --list` for one-line descriptions)",
         IDS.join(" ")
     )
+}
+
+/// The `--list` table: every exhibit id with its one-line description.
+pub fn list() -> String {
+    let width = EXHIBITS.iter().map(|(id, _)| id.len()).max().unwrap_or(0);
+    let mut out = String::from("exhibits:\n");
+    for (id, description) in EXHIBITS {
+        out.push_str(&format!("  {id:<width$}  {description}\n"));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -233,5 +310,54 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), IDS.len());
+    }
+
+    #[test]
+    fn exhibit_table_matches_ids() {
+        let described: Vec<&str> = EXHIBITS.iter().map(|(id, _)| *id).collect();
+        assert_eq!(described, IDS, "EXHIBITS must mirror IDS in order");
+        assert!(EXHIBITS.iter().all(|(_, d)| !d.is_empty()));
+    }
+
+    #[test]
+    fn list_prints_every_id() {
+        let listing = list();
+        for id in IDS {
+            assert!(listing.contains(id), "missing {id} in --list output");
+        }
+        assert_eq!(parse(&["--list"]), Parsed::List);
+        // --list wins even with targets present.
+        assert_eq!(parse(&["fig5", "--list"]), Parsed::List);
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let o = options(&["--trace", "t.json", "--metrics", "fig7"]);
+        assert_eq!(o.trace, Some(PathBuf::from("t.json")));
+        assert!(o.metrics);
+        let o = options(&["fig7"]);
+        assert_eq!(o.trace, None);
+        assert!(!o.metrics);
+        assert!(matches!(parse(&["--trace"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn trace_conflicts_with_resume() {
+        match parse(&["--resume", "--trace", "t.json", "fig7"]) {
+            Parsed::Error(msg) => assert!(msg.contains("--resume"), "{msg}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        match parse(&["--metrics", "--resume", "fig7"]) {
+            Parsed::Error(msg) => assert!(msg.contains("--resume"), "{msg}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn help_mentions_new_flags() {
+        let h = help();
+        for flag in ["--trace", "--metrics", "--list"] {
+            assert!(h.contains(flag), "help must mention {flag}");
+        }
     }
 }

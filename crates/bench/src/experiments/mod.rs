@@ -5,6 +5,7 @@ mod barrier;
 mod coherence;
 mod extensions;
 mod traces;
+mod tracing;
 mod variants;
 
 pub use ablations::{ablation_arbitration, ablation_cap, ablation_determinism};
@@ -12,4 +13,5 @@ pub use barrier::{barrier_figures, fig4, hardware, sec71, BarrierFigures};
 pub use coherence::{fig1, table1, table2};
 pub use extensions::{combining, netback, resource};
 pub use traces::{fig3, table3};
+pub use tracing::sim_trace;
 pub use variants::{single, snoopy};

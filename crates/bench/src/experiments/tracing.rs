@@ -1,0 +1,94 @@
+//! Representative traced episodes per exhibit (`repro --trace`).
+//!
+//! Exhibits aggregate hundreds of episodes; tracing every one would bury
+//! the interesting structure under gigabytes of identical spans. Instead,
+//! each barrier figure contributes **one episode per plotted policy** at
+//! the exhibit's arrival span (with `n = config.procs`), and `netback`
+//! contributes one packet-network run per feedback policy. Everything is
+//! derived from the exhibit id and [`ReproConfig`] alone, so the traced
+//! units — and their exported bytes — are identical at any `--jobs` count.
+
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_net::{NetworkBackoff, PacketConfig, PacketSim};
+use abs_obs::trace::{Event, Ring};
+use abs_sim::sweep::derive_seed;
+
+use crate::ReproConfig;
+
+/// Returns the traced units of one exhibit as `(unit name, events)` pairs,
+/// in a fixed order. Exhibits without a cycle-resolved simulation (tables,
+/// analytic models) return no units.
+pub fn sim_trace(id: &str, config: &ReproConfig) -> Vec<(String, Vec<Event>)> {
+    match id {
+        // Figure 4 compares arrival spans under no backoff.
+        "fig4" => [0u64, 100, 1000]
+            .iter()
+            .map(|&a| barrier_unit(a, BackoffPolicy::None, config))
+            .collect(),
+        // Figures 5–10 compare policies at one arrival span each.
+        "fig5" | "fig8" => policy_units(0, config),
+        "fig6" | "fig9" => policy_units(100, config),
+        "fig7" | "fig10" => policy_units(1000, config),
+        "netback" => [
+            NetworkBackoff::None,
+            NetworkBackoff::QueueFeedback { factor: 8 },
+        ]
+        .iter()
+        .map(|&policy| packet_unit(policy, config))
+        .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn policy_units(a: u64, config: &ReproConfig) -> Vec<(String, Vec<Event>)> {
+    BackoffPolicy::figure_policies()
+        .into_iter()
+        .map(|policy| barrier_unit(a, policy, config))
+        .collect()
+}
+
+fn barrier_unit(a: u64, policy: BackoffPolicy, config: &ReproConfig) -> (String, Vec<Event>) {
+    let sim = BarrierSim::new(BarrierConfig::new(config.procs, a), policy);
+    let mut ring = Ring::default();
+    sim.run_traced(derive_seed(config.seed, 0), &mut ring);
+    (format!("A={a} {}", policy.label()), ring.into_events())
+}
+
+fn packet_unit(policy: NetworkBackoff, config: &ReproConfig) -> (String, Vec<Event>) {
+    // The netback exhibit's hot-spot configuration, shortened so one traced
+    // run stays legible in a viewer.
+    let pc = PacketConfig {
+        log2_size: 5,
+        queue_capacity: 4,
+        injection_rate: 0.9,
+        hot_fraction: 0.5,
+        warmup_cycles: 200,
+        measure_cycles: 2_000,
+        memory_service_cycles: 2,
+        max_outstanding: 4,
+    };
+    let sim = PacketSim::new(pc, policy);
+    let mut ring = Ring::default();
+    sim.run_traced(derive_seed(config.seed ^ 0xFEED, 0), &mut ring);
+    (format!("packet: {}", policy.label()), ring.into_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_exhibits_yield_units() {
+        let config = ReproConfig::quick();
+        assert_eq!(sim_trace("fig4", &config).len(), 3);
+        assert_eq!(sim_trace("fig7", &config).len(), 5);
+        assert_eq!(sim_trace("netback", &config).len(), 2);
+        assert!(sim_trace("table1", &config).is_empty());
+    }
+
+    #[test]
+    fn units_are_deterministic() {
+        let config = ReproConfig::quick();
+        assert_eq!(sim_trace("fig7", &config), sim_trace("fig7", &config));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod render;
 
 /// Controls how heavy the regeneration runs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,129 @@
+//! Exhibit rendering, shared by the `repro` binary and the trace tests.
+//!
+//! [`render_one`] regenerates a single exhibit as a pure function of
+//! `(id, config, trace)` — no printing, no filesystem — so exhibits can run
+//! on any `abs-exec` worker in any order and the commit phase owns all
+//! output. When tracing is requested, the exhibit additionally carries its
+//! representative traced episodes (see [`crate::experiments::sim_trace`]);
+//! [`assemble_sim_trace`] merges the units of a whole run into one
+//! Chrome-trace document with a stable lane layout.
+
+use abs_obs::chrome::ChromeTrace;
+use abs_obs::trace::Event;
+
+use crate::{experiments, ReproConfig};
+
+/// One exhibit's regenerated output: the printable text, the CSV payload
+/// for figure series, and (when requested) the traced episodes.
+pub struct Rendered {
+    /// The printable table/series text, committed to stdout in request
+    /// order.
+    pub text: String,
+    /// `(file name, payload)` for figure series when `--csv` is given.
+    pub csv: Option<(String, String)>,
+    /// Traced units as `(unit name, events)`, empty unless tracing was
+    /// requested (and for exhibits with no cycle-resolved simulation).
+    pub trace: Vec<(String, Vec<Event>)>,
+}
+
+/// Regenerates one exhibit. With `trace` set, representative episodes are
+/// re-run through the recording sink; the exhibit's printed numbers are
+/// unaffected (tracing never perturbs simulation results).
+pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
+    let mut csv: Option<(String, String)> = None;
+    let text = match id {
+        "fig1" => experiments::fig1(config).to_string(),
+        "table1" => experiments::table1(config).to_string(),
+        "table2" => experiments::table2(config).to_string(),
+        "table3" => experiments::table3(config).to_string(),
+        "fig3" => experiments::fig3(config).to_string(),
+        "fig4" => {
+            let set = experiments::fig4(config);
+            csv = Some((format!("{id}.csv"), set.to_csv()));
+            set.to_string()
+        }
+        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" => {
+            let a = match id {
+                "fig5" | "fig8" => 0,
+                "fig6" | "fig9" => 100,
+                _ => 1000,
+            };
+            let figs = experiments::barrier_figures(a, config);
+            let set = if matches!(id, "fig5" | "fig6" | "fig7") {
+                figs.accesses
+            } else {
+                figs.waiting
+            };
+            csv = Some((format!("{id}.csv"), set.to_csv()));
+            set.to_string()
+        }
+        "hw" => experiments::hardware(config).to_string(),
+        "sec71" => experiments::sec71(config).to_string(),
+        "resource" => experiments::resource(config).to_string(),
+        "netback" => experiments::netback(config).to_string(),
+        "combining" => experiments::combining(config).to_string(),
+        "single" => experiments::single(config).to_string(),
+        "snoopy" => experiments::snoopy(config).to_string(),
+        "ablations" => format!(
+            "{}\n{}\n{}",
+            experiments::ablation_arbitration(config),
+            experiments::ablation_determinism(config),
+            experiments::ablation_cap(config)
+        ),
+        _ => unreachable!("validated by cli::parse_args"),
+    };
+    let trace = if trace {
+        experiments::sim_trace(id, config)
+    } else {
+        Vec::new()
+    };
+    Rendered { text, csv, trace }
+}
+
+/// Merges traced units (already in request order, names prefixed with
+/// their exhibit id) into one Chrome-trace document: unit `i` becomes
+/// process `i + 1`, leaving [`abs_obs::chrome::WALL_PID`] free for the
+/// execution engine's wall-clock worker lanes.
+pub fn assemble_sim_trace(units: Vec<(String, Vec<Event>)>) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    for (i, (name, events)) in units.into_iter().enumerate() {
+        trace.add_unit(i as u32 + 1, name, events);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_obs::chrome::{validate, WALL_PID};
+
+    #[test]
+    fn untraced_render_carries_no_units() {
+        let r = render_one("table1", &ReproConfig::quick(), false);
+        assert!(r.trace.is_empty());
+        assert!(!r.text.is_empty());
+    }
+
+    #[test]
+    fn traced_fig4_assembles_into_valid_trace() {
+        let r = render_one("fig4", &ReproConfig::quick(), true);
+        assert_eq!(r.trace.len(), 3);
+        let trace = assemble_sim_trace(r.trace);
+        let doc = trace.to_value();
+        validate(&doc).unwrap();
+        // Every data row sits on a sim unit, never the wall pid.
+        for row in doc.get("traceEvents").unwrap().as_array().unwrap() {
+            assert_ne!(row.get("pid").unwrap().as_f64(), Some(f64::from(WALL_PID)));
+        }
+    }
+
+    #[test]
+    fn tracing_leaves_exhibit_text_unchanged() {
+        let config = ReproConfig::quick();
+        let plain = render_one("fig7", &config, false);
+        let traced = render_one("fig7", &config, true);
+        assert_eq!(plain.text, traced.text);
+        assert_eq!(plain.csv, traced.csv);
+        assert!(!traced.trace.is_empty());
+    }
+}

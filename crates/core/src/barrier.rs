@@ -19,6 +19,7 @@
 //! past the flag, and the number of cycles that takes.
 
 use abs_net::module::{Arbitration, MemoryModule, Request};
+use abs_obs::trace::{Noop, TraceSink};
 use abs_sim::rng::Xoshiro256PlusPlus;
 
 use crate::policy::BackoffPolicy;
@@ -201,6 +202,23 @@ impl BarrierSim {
 
     /// Simulates one barrier episode with the given seed.
     pub fn run(&self, seed: u64) -> BarrierRun {
+        self.run_traced(seed, &mut Noop)
+    }
+
+    /// Simulates one barrier episode, emitting a cycle-resolved trace into
+    /// `sink`.
+    ///
+    /// Lane layout (`tid` = processor index; counters on `tid == n`):
+    /// per-processor `barrier` spans from arrival to passing the flag, with
+    /// nested `var`, `backoff` and `flag-write` spans and `poll-hit` /
+    /// `poll-miss` / `park` / `wake` / `flag-set` instants; per-cycle
+    /// `var_queue` / `flag_queue` occupancy counters.
+    ///
+    /// Instrumentation never touches the RNG or the simulation state:
+    /// `run(seed)` is exactly `run_traced(seed, &mut Noop)`, and results
+    /// are bit-identical whichever sink is supplied (asserted by the
+    /// `obs_trace` test suite).
+    pub fn run_traced<S: TraceSink>(&self, seed: u64, sink: &mut S) -> BarrierRun {
         let n = self.config.n;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
@@ -231,10 +249,12 @@ impl BarrierSim {
 
         while done < n {
             // Activate arrivals and expired waits.
-            for p in procs.iter_mut() {
+            for (id, p) in procs.iter_mut().enumerate() {
                 match p.phase {
                     Phase::NotArrived if p.arrival <= now => {
                         p.phase = Phase::VarRequest { since: now };
+                        sink.span_begin(id as u32, now, "barrier", &[]);
+                        sink.span_begin(id as u32, now, "var", &[]);
                     }
                     Phase::Waiting { until } if until <= now => {
                         p.phase = Phase::FlagPoll { since: now };
@@ -264,18 +284,36 @@ impl BarrierSim {
                 }
             }
 
+            // Module-occupancy counters (one sample per simulated cycle).
+            if sink.enabled() {
+                sink.counter(n as u32, now, "var_queue", &[("waiters", var_reqs.len() as f64)]);
+                sink.counter(n as u32, now, "flag_queue", &[("waiters", flag_reqs.len() as f64)]);
+            }
+
             // Serve at most one barrier-variable access.
             if let Some(winner) = var_module.arbitrate(&var_reqs, &mut rng) {
                 barrier_count += 1;
                 let i = barrier_count;
                 let p = &mut procs[winner];
+                sink.span_end(
+                    winner as u32,
+                    now,
+                    "var",
+                    &[("accesses", p.var_accesses as f64), ("count", i as f64)],
+                );
                 if i == n {
                     p.phase = Phase::FlagWrite { since: now + 1 };
+                    sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
                 } else {
                     let wait = self.policy.variable_wait(n, i);
                     p.phase = if wait == 0 {
                         Phase::FlagPoll { since: now + 1 }
                     } else {
+                        // The span is scheduled in full here: both edges are
+                        // known, and the processor's next event cannot
+                        // precede `until`, so lane time stays monotone.
+                        sink.span_begin(winner as u32, now + 1, "backoff", &[("wait", wait as f64)]);
+                        sink.span_end(winner as u32, now + 1 + wait, "backoff", &[]);
                         Phase::Waiting {
                             until: now + 1 + wait,
                         }
@@ -294,9 +332,12 @@ impl BarrierSim {
                         p.phase = Phase::Done;
                         p.done_at = now;
                         done += 1;
+                        sink.span_end(winner as u32, now, "flag-write", &[]);
+                        sink.instant(winner as u32, now, "flag-set", &[]);
+                        sink.span_end(winner as u32, now, "barrier", &[]);
                         // Wake everything already parked.
                         let wake = now + self.policy.wake_cost();
-                        for q in procs.iter_mut() {
+                        for (qid, q) in procs.iter_mut().enumerate() {
                             if q.phase == Phase::Queued {
                                 q.phase = Phase::Done;
                                 q.done_at = wake;
@@ -304,6 +345,8 @@ impl BarrierSim {
                                 // more network transaction.
                                 q.flag_after += 1;
                                 done += 1;
+                                sink.instant(qid as u32, wake, "wake", &[]);
+                                sink.span_end(qid as u32, wake, "barrier", &[]);
                             }
                         }
                     }
@@ -313,13 +356,28 @@ impl BarrierSim {
                             p.phase = Phase::Done;
                             p.done_at = now;
                             done += 1;
+                            sink.instant(winner as u32, now, "poll-hit", &[]);
+                            sink.span_end(winner as u32, now, "barrier", &[]);
                         } else {
                             p.polls += 1;
+                            sink.instant(
+                                winner as u32,
+                                now,
+                                "poll-miss",
+                                &[("polls", f64::from(p.polls))],
+                            );
                             match self.policy.sampled_flag_delay(p.polls, &mut rng) {
                                 Some(0) => {
                                     p.phase = Phase::FlagPoll { since: now + 1 };
                                 }
                                 Some(d) => {
+                                    sink.span_begin(
+                                        winner as u32,
+                                        now + 1,
+                                        "backoff",
+                                        &[("wait", d as f64)],
+                                    );
+                                    sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
                                     p.phase = Phase::Waiting { until: now + 1 + d };
                                 }
                                 None => {
@@ -328,6 +386,7 @@ impl BarrierSim {
                                     p.phase = Phase::Queued;
                                     p.was_queued = true;
                                     p.flag_before += 1;
+                                    sink.instant(winner as u32, now, "park", &[]);
                                 }
                             }
                         }
@@ -401,6 +460,41 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = BarrierSim::new(BarrierConfig::new(32, 100), BackoffPolicy::exponential(2));
         assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        use abs_obs::trace::{Phase as EvPhase, Ring};
+        let sim = BarrierSim::new(BarrierConfig::new(16, 200), BackoffPolicy::exponential(2));
+        let mut ring = Ring::default();
+        let traced = sim.run_traced(7, &mut ring);
+        assert_eq!(traced, sim.run(7));
+        assert_eq!(ring.dropped(), 0);
+        let events = ring.into_events();
+        // Every processor opens and closes exactly one "barrier" span.
+        let begins = events
+            .iter()
+            .filter(|e| e.name == "barrier" && e.phase == EvPhase::Begin)
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.name == "barrier" && e.phase == EvPhase::End)
+            .count();
+        assert_eq!(begins, 16);
+        assert_eq!(ends, 16);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "flag-set")
+                .map(|e| e.ts as u64)
+                .collect::<Vec<_>>(),
+            vec![traced.flag_set_at()]
+        );
+        // Counter lanes sit above every processor lane.
+        assert!(events
+            .iter()
+            .filter(|e| e.phase == EvPhase::Counter)
+            .all(|e| e.tid == 16));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! tests can check the claim.
 
 use abs_sim::stats::{OnlineStats, Summary};
-use abs_sim::sweep::derive_seed;
+use abs_sim::sweep::Repetitions;
 
 use crate::barrier::BarrierSim;
 
@@ -79,8 +79,10 @@ pub fn aggregate_runs(sim: &BarrierSim, reps: u32, seed: u64) -> BarrierAggregat
     let mut flag_set = OnlineStats::new();
     let mut queued = OnlineStats::new();
     let n = sim.config().n as f64;
-    for i in 0..reps {
-        let run = sim.run(derive_seed(seed, i as u64));
+    // `Repetitions` owns the seed-derivation rule; this loop must see the
+    // exact seed sequence the parallel executors replay.
+    for run_seed in Repetitions::new(reps, seed).seeds() {
+        let run = sim.run(run_seed);
         accesses.push(run.mean_accesses());
         waiting.push(run.mean_waiting());
         var_accesses.push(run.mean_var_accesses());

@@ -16,6 +16,7 @@
 
 use std::collections::VecDeque;
 
+use abs_obs::trace::{Noop, TraceSink};
 use abs_sim::rng::Xoshiro256PlusPlus;
 use abs_sim::stats::OnlineStats;
 
@@ -105,6 +106,38 @@ struct PendingReq {
     retries: u32,
 }
 
+/// Static per-stage counter names, so counter emission never allocates.
+/// Twelve stages covers every valid `log2_size` (a 4096-processor Omega
+/// network); deeper stages are silently untraced.
+const STAGE_DEPTH: [&str; 12] = [
+    "stage0_depth",
+    "stage1_depth",
+    "stage2_depth",
+    "stage3_depth",
+    "stage4_depth",
+    "stage5_depth",
+    "stage6_depth",
+    "stage7_depth",
+    "stage8_depth",
+    "stage9_depth",
+    "stage10_depth",
+    "stage11_depth",
+];
+const STAGE_COLLISIONS: [&str; 12] = [
+    "stage0_collisions",
+    "stage1_collisions",
+    "stage2_collisions",
+    "stage3_collisions",
+    "stage4_collisions",
+    "stage5_collisions",
+    "stage6_collisions",
+    "stage7_collisions",
+    "stage8_collisions",
+    "stage9_collisions",
+    "stage10_collisions",
+    "stage11_collisions",
+];
+
 /// The packet-switched network simulator.
 ///
 /// # Examples
@@ -160,6 +193,17 @@ impl PacketSim {
 
     /// Runs the simulation and returns aggregate statistics.
     pub fn run(&self, seed: u64) -> PacketOutcome {
+        self.run_traced(seed, &mut Noop)
+    }
+
+    /// Runs the simulation, emitting a cycle-resolved trace into `sink`.
+    ///
+    /// Lane layout: per-cycle `hot_queue` and `stageN_depth` /
+    /// `stageN_collisions` counters on `tid == 0`, and per-processor
+    /// `blocked` / `throttled` instants on `tid == p`. Instrumentation
+    /// never touches the RNG: `run(seed)` is exactly
+    /// `run_traced(seed, &mut Noop)`.
+    pub fn run_traced<S: TraceSink>(&self, seed: u64, sink: &mut S) -> PacketOutcome {
         let topo = OmegaTopology::new(self.config.log2_size);
         let n = topo.size();
         let stages = topo.stages();
@@ -211,6 +255,7 @@ impl PacketSim {
             //    downstream queue per cycle.
             for s in (1..stages).rev() {
                 claim.iter_mut().for_each(|c| *c = None);
+                let mut collisions = 0u64;
                 // Pick winners among heads of stage s-1 wanting each port.
                 for p in 0..n {
                     let Some(head) = queues[s - 1][p].front() else {
@@ -225,6 +270,7 @@ impl PacketSim {
                         Some(other) => {
                             // Two upstream ports of the same switch contend;
                             // flip a fair coin.
+                            collisions += 1;
                             if rng.next_bool(0.5) {
                                 claim[want] = Some(p);
                             } else {
@@ -232,6 +278,9 @@ impl PacketSim {
                             }
                         }
                     }
+                }
+                if sink.enabled() && s < STAGE_COLLISIONS.len() {
+                    sink.counter(0, now, STAGE_COLLISIONS[s], &[("collisions", collisions as f64)]);
                 }
                 for want in 0..n {
                     if let Some(src_port) = claim[want] {
@@ -290,6 +339,12 @@ impl PacketSim {
                         queue_len,
                     });
                     if delay > 0 {
+                        sink.instant(
+                            p as u32,
+                            now,
+                            "throttled",
+                            &[("queue_len", queue_len as f64), ("delay", delay as f64)],
+                        );
                         pending[p] = Some(PendingReq {
                             dst,
                             issued,
@@ -304,14 +359,21 @@ impl PacketSim {
                     topo.path(p, dst)[0]
                 };
                 if queues[0][first_port].len() >= self.config.queue_capacity {
-                    self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages);
+                    self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages, sink);
                     continue;
                 }
                 match claim[first_port] {
                     None => claim[first_port] = Some(p),
-                    Some(_) => {
-                        self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages)
-                    }
+                    Some(_) => self.block(
+                        p,
+                        &mut pending,
+                        &mut blocked,
+                        measuring,
+                        now,
+                        &queues,
+                        stages,
+                        sink,
+                    ),
                 }
             }
             for port in 0..n {
@@ -329,6 +391,21 @@ impl PacketSim {
                 });
                 pending[p] = None;
                 inflight[p] += 1;
+            }
+
+            // Per-cycle occupancy series; the queue-depth sums exist only
+            // for tracing, so the whole block is gated on the sink.
+            if sink.enabled() {
+                for (s, name) in STAGE_DEPTH.iter().enumerate().take(stages) {
+                    let depth: usize = queues[s].iter().map(VecDeque::len).sum();
+                    sink.counter(0, now, *name, &[("packets", depth as f64)]);
+                }
+                sink.counter(
+                    0,
+                    now,
+                    "hot_queue",
+                    &[("packets", queues[stages - 1][0].len() as f64)],
+                );
             }
 
             if measuring {
@@ -351,7 +428,7 @@ impl PacketSim {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn block(
+    fn block<S: TraceSink>(
         &self,
         p: usize,
         pending: &mut [Option<PendingReq>],
@@ -360,6 +437,7 @@ impl PacketSim {
         now: u64,
         queues: &[Vec<VecDeque<Packet>>],
         stages: usize,
+        sink: &mut S,
     ) {
         let Some(PendingReq {
             dst,
@@ -373,6 +451,7 @@ impl PacketSim {
         if measuring {
             *blocked += 1;
         }
+        sink.instant(p as u32, now, "blocked", &[("retries", f64::from(retries + 1))]);
         let info = CollisionInfo {
             depth: 1,
             stages,
@@ -410,6 +489,27 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = PacketSim::new(quick_config(), NetworkBackoff::None);
         assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        use abs_obs::trace::Ring;
+        let cfg = PacketConfig {
+            hot_fraction: 0.4,
+            injection_rate: 0.6,
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            ..quick_config()
+        };
+        let sim = PacketSim::new(cfg, NetworkBackoff::QueueFeedback { factor: 8 });
+        let mut ring = Ring::default();
+        let traced = sim.run_traced(11, &mut ring);
+        assert_eq!(traced, sim.run(11));
+        let events = ring.into_events();
+        assert!(events.iter().any(|e| e.name == "hot_queue"));
+        assert!(events.iter().any(|e| e.name == "stage0_depth"));
+        // Under feedback and a hot spot, throttling must actually fire.
+        assert!(events.iter().any(|e| e.name == "throttled"));
     }
 
     #[test]

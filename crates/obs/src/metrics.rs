@@ -1,0 +1,300 @@
+//! A metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with deterministic text/CSV snapshots.
+//!
+//! The registry is deliberately simple — single-threaded, `BTreeMap`-keyed
+//! so snapshots render in a stable order, and free of interior mutability.
+//! Callers own a [`Registry`] per run (the `repro --metrics` flag builds
+//! one from the execution report and the trace recorder) and render it
+//! once at the end.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A histogram over fixed, caller-supplied bucket bounds.
+///
+/// An observation `v` lands in the first bucket whose upper bound is
+/// `>= v`; values above every bound land in the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use abs_obs::metrics::Registry;
+///
+/// let mut reg = Registry::new();
+/// reg.add("jobs_ok", 19);
+/// reg.add("jobs_ok", 1);
+/// reg.set_gauge("utilization", 0.85);
+/// reg.observe("wall_ms", &[1.0, 10.0, 100.0], 3.2);
+/// let snap = reg.snapshot();
+/// assert!(snap.to_text().contains("jobs_ok"));
+/// assert!(snap.to_csv().starts_with("metric,kind,stat,value\n"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into the named histogram, creating it with `bounds`
+    /// on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram already exists with different bounds.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        let hist = self
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+        assert_eq!(
+            hist.bounds(),
+            bounds,
+            "histogram {name:?} re-declared with different bounds"
+        );
+        hist.observe(value);
+    }
+
+    /// Reads a histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// A point-in-time copy of every metric, ready to render.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone().into_iter().collect(),
+            gauges: self.gauges.clone().into_iter().collect(),
+            histograms: self.histograms.clone().into_iter().collect(),
+        }
+    }
+}
+
+/// A rendered-ready copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl Snapshot {
+    /// Renders an aligned human-readable block.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("metrics:\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  counter  {name} = {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  gauge    {name} = {v:.3}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  hist     {name}: count={} mean={:.3}",
+                h.count(),
+                h.mean()
+            );
+            let mut lo = f64::NEG_INFINITY;
+            for (i, &c) in h.counts().iter().enumerate() {
+                let hi = h.bounds().get(i).copied();
+                let label = match hi {
+                    Some(hi) if lo.is_infinite() => format!("<= {hi}"),
+                    Some(hi) => format!("{lo}..{hi}"),
+                    None => format!("> {lo}"),
+                };
+                let _ = writeln!(out, "           [{label}] {c}");
+                if let Some(hi) = hi {
+                    lo = hi;
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders `metric,kind,stat,value` CSV rows (histograms expand to one
+    /// row per bucket plus `count`/`sum`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,stat,value\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name},counter,value,{v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name},gauge,value,{v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "{name},histogram,count,{}", h.count());
+            let _ = writeln!(out, "{name},histogram,sum,{}", h.sum());
+            for (i, &c) in h.counts().iter().enumerate() {
+                let bound = h
+                    .bounds()
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "inf".to_string());
+                let _ = writeln!(out, "{name},histogram,le_{bound},{c}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = Registry::new();
+        reg.add("a", 2);
+        reg.add("a", 3);
+        assert_eq!(reg.counter("a"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.set_gauge("g", 1.0);
+        reg.set_gauge("g", 2.0);
+        assert_eq!(reg.gauge("g"), Some(2.0));
+        assert_eq!(reg.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary lands in its bucket
+        h.observe(5.0);
+        h.observe(50.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 56.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_renders_sorted_and_stable() {
+        let mut reg = Registry::new();
+        reg.add("z_counter", 1);
+        reg.add("a_counter", 2);
+        reg.set_gauge("m_gauge", 0.5);
+        reg.observe("h", &[1.0], 0.25);
+        let snap = reg.snapshot();
+        let text = snap.to_text();
+        assert!(text.find("a_counter").unwrap() < text.find("z_counter").unwrap());
+        // Same registry, same bytes.
+        assert_eq!(snap.to_text(), reg.snapshot().to_text());
+        assert_eq!(snap.to_csv(), reg.snapshot().to_csv());
+        assert!(snap.to_csv().contains("h,histogram,le_1,1"));
+        assert!(snap.to_csv().contains("h,histogram,le_inf,0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_redeclaration_rejected() {
+        let mut reg = Registry::new();
+        reg.observe("h", &[1.0], 0.5);
+        reg.observe("h", &[2.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

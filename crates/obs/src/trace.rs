@@ -1,0 +1,314 @@
+//! The trace recorder: events, sinks, and the bounded ring buffer.
+//!
+//! Instrumented simulators emit [`Event`]s into a [`TraceSink`]. Two sinks
+//! exist: [`Noop`], a zero-sized type whose methods compile to nothing (the
+//! disabled path — simulators call it from their un-traced entry points),
+//! and [`Ring`], a bounded ring buffer that keeps the most recent events
+//! and counts what it dropped. Both are selected *by value* at the call
+//! site; the sink type is a generic parameter of the traced run functions,
+//! so the disabled path is monomorphized away entirely.
+//!
+//! Timestamps are `f64` in the lane's clock domain: **simulated cycles**
+//! for simulator lanes, **microseconds of wall time** for `abs-exec`
+//! worker lanes. The domain is encoded in the lane's `pid` (see
+//! [`crate::chrome::WALL_PID`]).
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+
+/// An event or lane name: usually a static label, owned only when built
+/// from runtime data (e.g. job names on worker lanes).
+pub type Name = Cow<'static, str>;
+
+/// The Chrome-trace phase of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span start (`"B"`).
+    Begin,
+    /// Span end (`"E"`); pairs with the innermost open [`Phase::Begin`] on
+    /// the same lane.
+    End,
+    /// A point-in-time marker (`"i"`).
+    Instant,
+    /// A sampled counter value (`"C"`); `args` holds the series.
+    Counter,
+}
+
+/// One trace event on one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Process id: groups lanes into one timeline unit (one traced episode
+    /// or the worker pool). Simulators always emit `pid == 0`; exporters
+    /// remap it when merging units.
+    pub pid: u32,
+    /// Thread id: the lane within the unit (processor index, worker index,
+    /// or a dedicated counter lane).
+    pub tid: u32,
+    /// Timestamp in the lane's clock domain (cycles or wall-µs).
+    pub ts: f64,
+    /// Event phase.
+    pub phase: Phase,
+    /// Event (or counter) name.
+    pub name: Name,
+    /// Numeric arguments, rendered into the Chrome `args` object.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+impl Event {
+    /// Builds an event on `pid` 0 (the simulator convention).
+    pub fn sim(tid: u32, ts: f64, phase: Phase, name: impl Into<Name>) -> Self {
+        Self {
+            pid: 0,
+            tid,
+            ts,
+            phase,
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Returns the event with the given args attached.
+    pub fn with_args(mut self, args: &[(&'static str, f64)]) -> Self {
+        self.args = args.to_vec();
+        self
+    }
+}
+
+/// Where instrumented code sends its events.
+///
+/// All convenience methods check [`enabled`](Self::enabled) first, so a
+/// disabled sink never allocates. Instrumentation that must *compute*
+/// something only for tracing (e.g. a queue-depth sum) should guard on
+/// `enabled()` itself.
+pub trait TraceSink {
+    /// Whether events reach a recorder. [`Noop`] returns `false`, which
+    /// lets the optimizer delete every instrumentation site.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Called only behind an [`enabled`](Self::enabled)
+    /// check by the convenience methods.
+    fn record(&mut self, event: Event);
+
+    /// Records a span start on lane `tid` at simulated time `ts`.
+    fn span_begin(&mut self, tid: u32, ts: u64, name: impl Into<Name>, args: &[(&'static str, f64)]) {
+        if self.enabled() {
+            self.record(Event::sim(tid, ts as f64, Phase::Begin, name).with_args(args));
+        }
+    }
+
+    /// Records a span end on lane `tid` at simulated time `ts`.
+    fn span_end(&mut self, tid: u32, ts: u64, name: impl Into<Name>, args: &[(&'static str, f64)]) {
+        if self.enabled() {
+            self.record(Event::sim(tid, ts as f64, Phase::End, name).with_args(args));
+        }
+    }
+
+    /// Records an instant marker on lane `tid` at simulated time `ts`.
+    fn instant(&mut self, tid: u32, ts: u64, name: impl Into<Name>, args: &[(&'static str, f64)]) {
+        if self.enabled() {
+            self.record(Event::sim(tid, ts as f64, Phase::Instant, name).with_args(args));
+        }
+    }
+
+    /// Records a counter sample at simulated time `ts`.
+    fn counter(&mut self, tid: u32, ts: u64, name: impl Into<Name>, args: &[(&'static str, f64)]) {
+        if self.enabled() {
+            self.record(Event::sim(tid, ts as f64, Phase::Counter, name).with_args(args));
+        }
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// The disabled recorder: a zero-sized sink that drops everything.
+///
+/// `BarrierSim::run(seed)` is exactly `run_traced(seed, &mut Noop)`; the
+/// bit-identity tests assert the two produce equal results, and the
+/// `obs_overhead` bench shows the instrumented-but-disabled path costs
+/// nothing measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Noop;
+
+impl TraceSink for Noop {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Default [`Ring`] capacity: ample for any traced exhibit episode.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 20;
+
+/// A bounded ring-buffer recorder: keeps the most recent `capacity`
+/// events, counting the ones it had to drop.
+///
+/// # Examples
+///
+/// ```
+/// use abs_obs::trace::{Ring, TraceSink};
+///
+/// let mut ring = Ring::new(2);
+/// ring.instant(0, 1, "a", &[]);
+/// ring.instant(0, 2, "b", &[]);
+/// ring.instant(0, 3, "c", &[]);
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// assert_eq!(ring.events()[0].name, "b"); // oldest was evicted
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> &VecDeque<Event> {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, yielding the retained events oldest first.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events.into()
+    }
+
+    /// Empties the ring and resets the dropped counter (for reuse between
+    /// bench iterations).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl TraceSink for Ring {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_records_nothing_and_is_disabled() {
+        let mut noop = Noop;
+        assert!(!noop.enabled());
+        noop.span_begin(0, 0, "x", &[("a", 1.0)]);
+        noop.record(Event::sim(0, 0.0, Phase::Instant, "forced"));
+        // Nothing to observe: Noop is stateless by construction.
+        assert_eq!(noop, Noop);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = Ring::new(3);
+        for i in 0..10u64 {
+            ring.instant(0, i, "e", &[("i", i as f64)]);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let events = ring.into_events();
+        assert_eq!(events[0].ts, 7.0);
+        assert_eq!(events[2].ts, 9.0);
+    }
+
+    #[test]
+    fn convenience_methods_set_phase_and_args() {
+        let mut ring = Ring::new(16);
+        ring.span_begin(1, 5, "span", &[("k", 2.0)]);
+        ring.span_end(1, 9, "span", &[]);
+        ring.counter(2, 5, "queue", &[("depth", 4.0)]);
+        let events = ring.into_events();
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[0].args, vec![("k", 2.0)]);
+        assert_eq!(events[1].phase, Phase::End);
+        assert_eq!(events[2].phase, Phase::Counter);
+        assert_eq!(events[2].tid, 2);
+    }
+
+    #[test]
+    fn sink_through_mut_reference() {
+        let mut ring = Ring::new(4);
+        fn emit<S: TraceSink>(mut sink: S) {
+            sink.instant(0, 1, "via-ref", &[]);
+        }
+        emit(&mut ring);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ring = Ring::new(1);
+        ring.instant(0, 0, "a", &[]);
+        ring.instant(0, 1, "b", &[]);
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Ring::new(0);
+    }
+}

@@ -28,6 +28,9 @@
 //! * [`exec`] — the deterministic parallel execution engine: seeded job
 //!   sets, a fixed-size worker pool with id-ordered commit, panic
 //!   isolation, and JSON run manifests for `--resume`.
+//! * [`obs`] — cycle-resolved tracing and metrics: trace recorder with a
+//!   bounded ring buffer, metrics registry, Chrome trace-event export
+//!   (Perfetto-compatible), and an in-terminal ASCII timeline.
 //!
 //! # Quick start
 //!
@@ -49,6 +52,7 @@ pub use abs_core as core;
 pub use abs_exec as exec;
 pub use abs_model as model;
 pub use abs_net as net;
+pub use abs_obs as obs;
 pub use abs_sim as sim;
 pub use abs_sync as sync;
 pub use abs_trace as trace;

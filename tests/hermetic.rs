@@ -122,8 +122,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_a_path_based_workspace_crate() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 9,
-        "expected the root and at least eight crates, found {}",
+        manifests.len() >= 10,
+        "expected the root and at least nine crates, found {}",
         manifests.len()
     );
 
@@ -149,9 +149,9 @@ fn every_dependency_is_a_path_based_workspace_crate() {
          (declare the code in-tree instead):\n{}",
         violations.join("\n")
     );
-    // The workspace facade alone pulls in eight crates; if parsing ever
+    // The workspace facade alone pulls in nine crates; if parsing ever
     // silently breaks, this floor catches it.
-    assert!(checked >= 16, "only {checked} dependency entries parsed");
+    assert!(checked >= 18, "only {checked} dependency entries parsed");
 }
 
 #[test]
@@ -183,11 +183,15 @@ fn path_dependencies_resolve_to_workspace_crates() {
             }
         }
     }
-    // All eight library crates (including `abs-exec`) are reachable by
+    // All nine library crates (including `abs-obs`) are reachable by
     // path from the root manifest.
-    assert_eq!(seen.len(), 8, "expected 8 distinct path targets: {seen:?}");
+    assert_eq!(seen.len(), 9, "expected 9 distinct path targets: {seen:?}");
     assert!(
         seen.iter().any(|p| p.ends_with("crates/exec")),
         "abs-exec must be registered as a path dependency: {seen:?}"
+    );
+    assert!(
+        seen.iter().any(|p| p.ends_with("crates/obs")),
+        "abs-obs must be registered as a path dependency: {seen:?}"
     );
 }
