@@ -1,0 +1,124 @@
+//! Cycle stepper vs event-driven kernel wall time, per sweep point.
+//!
+//! Measures one barrier or packet episode per iteration under each kernel
+//! and emits, besides the standard `bench_kernel.{json,csv}` reports, a
+//! machine-readable speedup table `repro_out/BENCH_kernel.json`
+//! (`ABS_BENCH_OUT` overrides the directory) — one row per sweep point
+//! with the median ns per episode under each kernel and the ratio. CI
+//! uploads this file; EXPERIMENTS.md cites it.
+//!
+//! The two kernels are bit-identical (enforced by the `kernel_equivalence`
+//! suite), so every row is the same computation twice — the ratio is pure
+//! kernel overhead.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use abs_bench::harness::Bench;
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim, Kernel};
+use abs_net::{NetworkBackoff, PacketConfig, PacketSim};
+
+/// One benchmarked sweep point: a named episode closure per kernel.
+struct Point {
+    name: &'static str,
+    run: Box<dyn Fn(Kernel)>,
+}
+
+fn barrier_point(name: &'static str, n: usize, a: u64, policy: BackoffPolicy) -> Point {
+    let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
+    Point {
+        name,
+        run: Box::new(move |kernel| {
+            std::hint::black_box(sim.run_with(0xBE7C, kernel));
+        }),
+    }
+}
+
+fn packet_point(name: &'static str, policy: NetworkBackoff) -> Point {
+    let sim = PacketSim::new(
+        PacketConfig {
+            log2_size: 5,
+            queue_capacity: 4,
+            injection_rate: 0.4,
+            hot_fraction: 0.5,
+            warmup_cycles: 500,
+            measure_cycles: 5_000,
+            memory_service_cycles: 2,
+            max_outstanding: 1,
+        },
+        policy,
+    );
+    Point {
+        name,
+        run: Box::new(move |kernel| {
+            std::hint::black_box(sim.run_with(0xBE7C, kernel));
+        }),
+    }
+}
+
+fn main() {
+    let points = vec![
+        barrier_point("barrier_n64_a0_none", 64, 0, BackoffPolicy::None),
+        barrier_point("barrier_n64_a1000_exp8", 64, 1000, BackoffPolicy::exponential(8)),
+        barrier_point("barrier_n512_a0_none", 512, 0, BackoffPolicy::None),
+        barrier_point("barrier_n512_a1000_none", 512, 1000, BackoffPolicy::None),
+        barrier_point("barrier_n512_a1000_exp2", 512, 1000, BackoffPolicy::exponential(2)),
+        barrier_point("barrier_n512_a1000_exp8", 512, 1000, BackoffPolicy::exponential(8)),
+        packet_point("packet_hotspot_expretries", NetworkBackoff::ExponentialRetries {
+            base: 4,
+            cap: 4096,
+        }),
+        packet_point("packet_hotspot_feedback", NetworkBackoff::QueueFeedback { factor: 8 }),
+    ];
+
+    let mut bench = Bench::new("kernel");
+    for point in &points {
+        let mut group = bench.group(point.name);
+        for kernel in Kernel::ALL {
+            group.bench(kernel.name(), || (point.run)(kernel));
+        }
+        group.finish();
+    }
+
+    // Fold the per-kernel medians into the speedup table before `finish`
+    // consumes the runner.
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for point in &points {
+        let find = |id: &str| {
+            bench
+                .reports()
+                .iter()
+                .find(|r| r.group == point.name && r.id == id)
+                .map(|r| r.median_ns)
+                .expect("both kernels were measured")
+        };
+        rows.push((point.name.to_string(), find("cycle"), find("event")));
+    }
+
+    let mut json = String::from("{\n  \"runner\": \"kernel_speedup\",\n  \"points\": [\n");
+    for (i, (name, cycle_ns, event_ns)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"point\": \"{name}\", \"cycle_ns\": {cycle_ns:.1}, \
+             \"event_ns\": {event_ns:.1}, \"speedup\": {:.2}}}",
+            cycle_ns / event_ns
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = std::env::var_os("ABS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../repro_out"));
+    if let Err(e) = fs::create_dir_all(&dir).and_then(|()| {
+        fs::write(dir.join("BENCH_kernel.json"), &json)
+    }) {
+        eprintln!("kernel: cannot write BENCH_kernel.json to {}: {e}", dir.display());
+    } else {
+        eprintln!("kernel: wrote {}/BENCH_kernel.json", dir.display());
+    }
+    print!("{json}");
+
+    bench.finish();
+}

@@ -8,8 +8,14 @@
 //! cargo run -p abs-bench --release --bin repro -- --jobs 8 all
 //! cargo run -p abs-bench --release --bin repro -- --resume all
 //! cargo run -p abs-bench --release --bin repro -- --trace t.json --metrics fig7
+//! cargo run -p abs-bench --release --bin repro -- --kernel cycle fig7
 //! cargo run -p abs-bench --release --bin repro -- --list
 //! ```
+//!
+//! `--kernel` selects the simulation kernel: `event` (default) is the
+//! skip-ahead kernel, `cycle` the reference oracle. The two are
+//! bit-identical, so the choice affects wall time only — which is also why
+//! the kernel is not part of the `--resume` manifest's config equality.
 //!
 //! Exhibits run on the `abs-exec` engine: `--jobs N` exhibits at a time,
 //! committed to stdout in request order, so the output is **bit-identical

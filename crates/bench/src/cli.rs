@@ -4,6 +4,8 @@
 
 use std::path::PathBuf;
 
+use abs_sim::Kernel;
+
 use crate::ReproConfig;
 
 /// Every experiment id `repro` knows, in presentation order (`all` expands
@@ -134,6 +136,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
                 };
                 trace = Some(PathBuf::from(file));
             }
+            "--kernel" => {
+                let Some(v) = args.next() else {
+                    return Parsed::Error("--kernel needs a value: cycle or event".into());
+                };
+                match v.parse::<Kernel>() {
+                    Ok(k) => config.kernel = k,
+                    Err(e) => return Parsed::Error(e.to_string()),
+                }
+            }
             "--metrics" => metrics = true,
             "--list" => return Parsed::List,
             "--help" | "-h" => return Parsed::Help,
@@ -190,10 +201,13 @@ fn dedup_preserving_order(targets: &mut Vec<String>) {
 pub fn help() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
-         usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--resume] [--csv DIR]\n\
-        \x20            [--trace FILE] [--metrics] <id>... | all\n\n\
+         usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--kernel K] [--resume]\n\
+        \x20            [--csv DIR] [--trace FILE] [--metrics] <id>... | all\n\n\
          --jobs N    run exhibits on N worker threads (default: available\n\
         \x20            parallelism); output is bit-identical at any N\n\
+         --kernel K  simulation kernel: event (default, skip-ahead) or\n\
+        \x20            cycle (the reference oracle); results are\n\
+        \x20            bit-identical under either\n\
          --resume    skip exhibits recorded as completed in repro_out/'s\n\
         \x20            run manifest (same seed/reps config required);\n\
         \x20            incompatible with --trace/--metrics\n\
@@ -214,6 +228,15 @@ pub fn list() -> String {
     for (id, description) in EXHIBITS {
         out.push_str(&format!("  {id:<width$}  {description}\n"));
     }
+    out.push_str("\nkernels (--kernel): ");
+    out.push_str(
+        &Kernel::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    out.push_str("  (bit-identical; cycle is the reference oracle)\n");
     out
 }
 
@@ -356,8 +379,42 @@ mod tests {
     #[test]
     fn help_mentions_new_flags() {
         let h = help();
-        for flag in ["--trace", "--metrics", "--list"] {
+        for flag in ["--trace", "--metrics", "--list", "--kernel"] {
             assert!(h.contains(flag), "help must mention {flag}");
         }
+    }
+
+    #[test]
+    fn kernel_flag_parses() {
+        assert_eq!(options(&["fig7"]).config.kernel, Kernel::Event);
+        assert_eq!(
+            options(&["--kernel", "cycle", "fig7"]).config.kernel,
+            Kernel::Cycle
+        );
+        assert_eq!(
+            options(&["--kernel", "event", "fig7"]).config.kernel,
+            Kernel::Event
+        );
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        match parse(&["--kernel", "warp", "fig7"]) {
+            Parsed::Error(msg) => {
+                assert!(msg.contains("warp"), "{msg}");
+                assert!(msg.contains("cycle"), "{msg}");
+                assert!(msg.contains("event"), "{msg}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(matches!(parse(&["--kernel"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn list_mentions_kernels() {
+        let listing = list();
+        assert!(listing.contains("--kernel"), "{listing}");
+        assert!(listing.contains("cycle"), "{listing}");
+        assert!(listing.contains("event"), "{listing}");
     }
 }

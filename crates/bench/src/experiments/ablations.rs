@@ -9,7 +9,7 @@
 //! * **Cap** — Figure 10's overshoot comes from uncapped exponential
 //!   delays; a cap trades some access savings for bounded waiting.
 
-use abs_core::{aggregate_runs, BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_core::{aggregate_runs_with, BackoffPolicy, BarrierConfig, BarrierSim};
 use abs_net::Arbitration;
 use abs_sim::table::{fmt_f64, Table};
 
@@ -30,7 +30,12 @@ pub fn ablation_arbitration(config: &ReproConfig) -> Table {
         for a in [0u64, 1000] {
             for policy in [BackoffPolicy::None, BackoffPolicy::exponential(2)] {
                 let cfg = BarrierConfig::new(64, a).with_arbitration(arb);
-                let agg = aggregate_runs(&BarrierSim::new(cfg, policy), config.reps, config.seed);
+                let agg = aggregate_runs_with(
+                    &BarrierSim::new(cfg, policy),
+                    config.reps,
+                    config.seed,
+                    config.kernel,
+                );
                 t.add_row(vec![
                     format!("{arb:?}"),
                     a.to_string(),
@@ -53,10 +58,11 @@ pub fn ablation_determinism(config: &ReproConfig) -> Table {
             BackoffPolicy::exponential(2),
             BackoffPolicy::ExponentialJittered { base: 2 },
         ] {
-            let agg = aggregate_runs(
+            let agg = aggregate_runs_with(
                 &BarrierSim::new(BarrierConfig::new(n, a), policy),
                 config.reps,
                 config.seed,
+                config.kernel,
             );
             t.add_row(vec![
                 policy.label(),
@@ -85,10 +91,11 @@ pub fn ablation_cap(config: &ReproConfig) -> Table {
         BackoffPolicy::exponential_capped(2, 64),
     ];
     for policy in policies {
-        let agg = aggregate_runs(
+        let agg = aggregate_runs_with(
             &BarrierSim::new(BarrierConfig::new(64, 1000), policy),
             config.reps,
             config.seed,
+            config.kernel,
         );
         t.add_row(vec![
             policy.label(),
@@ -117,21 +124,23 @@ mod tests {
     #[test]
     fn cap_bounds_waiting() {
         let config = ReproConfig::quick();
-        let uncapped = aggregate_runs(
+        let uncapped = aggregate_runs_with(
             &BarrierSim::new(
                 BarrierConfig::new(64, 1000),
                 BackoffPolicy::exponential(8),
             ),
             config.reps,
             config.seed,
+            config.kernel,
         );
-        let capped = aggregate_runs(
+        let capped = aggregate_runs_with(
             &BarrierSim::new(
                 BarrierConfig::new(64, 1000),
                 BackoffPolicy::exponential_capped(8, 64),
             ),
             config.reps,
             config.seed,
+            config.kernel,
         );
         assert!(
             capped.mean_waiting() < uncapped.mean_waiting(),
@@ -144,18 +153,20 @@ mod tests {
     #[test]
     fn jittered_policy_still_saves() {
         let config = ReproConfig::quick();
-        let none = aggregate_runs(
+        let none = aggregate_runs_with(
             &BarrierSim::new(BarrierConfig::new(16, 1000), BackoffPolicy::None),
             config.reps,
             config.seed,
+            config.kernel,
         );
-        let jit = aggregate_runs(
+        let jit = aggregate_runs_with(
             &BarrierSim::new(
                 BarrierConfig::new(16, 1000),
                 BackoffPolicy::ExponentialJittered { base: 2 },
             ),
             config.reps,
             config.seed,
+            config.kernel,
         );
         assert!(jit.mean_accesses() < none.mean_accesses() * 0.5);
     }

@@ -1,7 +1,7 @@
 //! The core evaluation: Figures 4–10, hardware baselines, Section 7.1.
 
 use abs_coherence::{CacheGeometry, DirectorySystem, PointerLimit, SyncCaching};
-use abs_core::{aggregate_runs, amortized_traffic, BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_core::{aggregate_runs_with, amortized_traffic, BackoffPolicy, BarrierConfig, BarrierSim};
 use abs_exec::{Engine, ExecConfig, JobSet};
 use abs_model::HardwareScheme;
 use abs_sim::series::SeriesSet;
@@ -56,9 +56,10 @@ pub fn fig4(config: &ReproConfig) -> SeriesSet {
         .flat_map(|n| [0u64, 100, 1000].into_iter().map(move |a| (n, a)))
         .collect();
     let reps = config.reps;
+    let kernel = config.kernel;
     let simulated = sweep_points(&points, config, move |&(n, a), seed| {
         let sim = BarrierSim::new(BarrierConfig::new(n, a), BackoffPolicy::None);
-        aggregate_runs(&sim, reps, seed).mean_accesses()
+        aggregate_runs_with(&sim, reps, seed, kernel).mean_accesses()
     });
     for n in power_of_two_counts(config.max_n) {
         set.add_point("A<<N (Model 1)", n as f64, abs_model::model1_accesses(n));
@@ -111,9 +112,10 @@ pub fn barrier_figures(a: u64, config: &ReproConfig) -> BarrierFigures {
         .flat_map(|n| BackoffPolicy::figure_policies().into_iter().map(move |p| (n, p)))
         .collect();
     let reps = config.reps;
+    let kernel = config.kernel;
     let results = sweep_points(&points, config, move |&(n, policy), seed| {
         let sim = BarrierSim::new(BarrierConfig::new(n, a), policy);
-        let agg = aggregate_runs(&sim, reps, seed);
+        let agg = aggregate_runs_with(&sim, reps, seed, kernel);
         (agg.mean_accesses(), agg.mean_waiting())
     });
     for (&(n, policy), (acc, wait)) in points.iter().zip(results) {
@@ -141,7 +143,7 @@ pub fn hardware(config: &ReproConfig) -> Table {
         let mut row = vec![format!("base-8 {label}")];
         for n in ns {
             let sim = BarrierSim::new(BarrierConfig::new(n, a), BackoffPolicy::exponential(8));
-            let agg = aggregate_runs(&sim, config.reps, config.seed);
+            let agg = aggregate_runs_with(&sim, config.reps, config.seed, config.kernel);
             row.push(fmt_f64(agg.mean_accesses(), 1));
         }
         t.add_row(row);
@@ -179,7 +181,7 @@ pub fn sec71(config: &ReproConfig) -> Table {
 
     let run = |policy: BackoffPolicy| {
         let sim = BarrierSim::new(BarrierConfig::new(procs, 100), policy);
-        aggregate_runs(&sim, config.reps, config.seed)
+        aggregate_runs_with(&sim, config.reps, config.seed, config.kernel)
     };
     let none = run(BackoffPolicy::None);
     let base8 = run(BackoffPolicy::exponential(8));
@@ -283,6 +285,16 @@ mod tests {
             );
         }
         assert_eq!(fig4(&quick().with_jobs(4)), fig4(&quick()));
+    }
+
+    #[test]
+    fn kernels_produce_identical_exhibits() {
+        use abs_sim::Kernel;
+        let event = quick(); // event is the default
+        let cycle = quick().with_kernel(Kernel::Cycle);
+        assert_eq!(event.kernel, Kernel::Event);
+        assert_eq!(barrier_figures(100, &cycle), barrier_figures(100, &event));
+        assert_eq!(fig4(&cycle), fig4(&event));
     }
 
     #[test]

@@ -121,7 +121,7 @@ pub fn netback(config: &ReproConfig) -> Table {
         let mut lat = OnlineStats::new();
         let mut blocked = OnlineStats::new();
         for i in 0..config.reps.min(20) {
-            let o = sim.run(derive_seed(config.seed ^ 0xFEED, i as u64));
+            let o = sim.run_with(derive_seed(config.seed ^ 0xFEED, i as u64), config.kernel);
             thr.push(o.background_throughput);
             lat.push(o.avg_latency);
             blocked.push(o.blocked_injections as f64 / o.delivered.max(1) as f64);
@@ -162,7 +162,7 @@ pub fn combining(config: &ReproConfig) -> Table {
     let mut hot = OnlineStats::new();
     let mut comp = OnlineStats::new();
     for i in 0..config.reps.min(20) {
-        let run = flat.run(derive_seed(config.seed, i as u64));
+        let run = flat.run_with(derive_seed(config.seed, i as u64), config.kernel);
         acc.push(run.mean_accesses());
         // Flat: two modules carry everything; the flag module carries the
         // polls.

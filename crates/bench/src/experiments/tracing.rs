@@ -50,7 +50,7 @@ fn policy_units(a: u64, config: &ReproConfig) -> Vec<(String, Vec<Event>)> {
 fn barrier_unit(a: u64, policy: BackoffPolicy, config: &ReproConfig) -> (String, Vec<Event>) {
     let sim = BarrierSim::new(BarrierConfig::new(config.procs, a), policy);
     let mut ring = Ring::default();
-    sim.run_traced(derive_seed(config.seed, 0), &mut ring);
+    sim.run_traced_with(derive_seed(config.seed, 0), &mut ring, config.kernel);
     (format!("A={a} {}", policy.label()), ring.into_events())
 }
 
@@ -69,7 +69,7 @@ fn packet_unit(policy: NetworkBackoff, config: &ReproConfig) -> (String, Vec<Eve
     };
     let sim = PacketSim::new(pc, policy);
     let mut ring = Ring::default();
-    sim.run_traced(derive_seed(config.seed ^ 0xFEED, 0), &mut ring);
+    sim.run_traced_with(derive_seed(config.seed ^ 0xFEED, 0), &mut ring, config.kernel);
     (format!("packet: {}", policy.label()), ring.into_events())
 }
 
@@ -90,5 +90,15 @@ mod tests {
     fn units_are_deterministic() {
         let config = ReproConfig::quick();
         assert_eq!(sim_trace("fig7", &config), sim_trace("fig7", &config));
+    }
+
+    #[test]
+    fn kernels_trace_identically() {
+        use abs_sim::Kernel;
+        let event = ReproConfig::quick();
+        let cycle = ReproConfig::quick().with_kernel(Kernel::Cycle);
+        for id in ["fig7", "netback"] {
+            assert_eq!(sim_trace(id, &cycle), sim_trace(id, &event), "{id}");
+        }
     }
 }

@@ -9,7 +9,7 @@
 //!   saturates its single bus as the machine grows.
 
 use abs_coherence::{CacheGeometry, DirectorySystem, PointerLimit, SnoopyBus, SyncCaching};
-use abs_core::{aggregate_runs, BackoffPolicy, BarrierConfig, BarrierSim, SingleCounterSim};
+use abs_core::{aggregate_runs_with, BackoffPolicy, BarrierConfig, BarrierSim, SingleCounterSim};
 use abs_sim::stats::OnlineStats;
 use abs_sim::sweep::derive_seed;
 use abs_sim::table::{fmt_f64, fmt_percent, Table};
@@ -30,7 +30,8 @@ pub fn single(config: &ReproConfig) -> Table {
     let reps = config.reps;
 
     let two_mean = |policy: BackoffPolicy| {
-        aggregate_runs(&BarrierSim::new(cfg, policy), reps, config.seed).mean_accesses()
+        aggregate_runs_with(&BarrierSim::new(cfg, policy), reps, config.seed, config.kernel)
+            .mean_accesses()
     };
     let single_mean = |policy: BackoffPolicy| {
         let sim = SingleCounterSim::new(cfg, policy);

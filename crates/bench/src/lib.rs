@@ -30,6 +30,8 @@ pub mod experiments;
 pub mod harness;
 pub mod render;
 
+use abs_sim::Kernel;
+
 /// Controls how heavy the regeneration runs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReproConfig {
@@ -46,6 +48,10 @@ pub struct ReproConfig {
     /// their points out over an `abs-exec` engine when this exceeds 1).
     /// Results are bit-for-bit identical at any value.
     pub jobs: usize,
+    /// Simulation kernel driving every episode. The kernels are
+    /// bit-identical; `cycle` is the reference oracle, `event` (the
+    /// default) skips dead cycles.
+    pub kernel: Kernel,
 }
 
 impl ReproConfig {
@@ -57,6 +63,7 @@ impl ReproConfig {
             procs: 64,
             max_n: 512,
             jobs: 1,
+            kernel: Kernel::default(),
         }
     }
 
@@ -68,12 +75,19 @@ impl ReproConfig {
             procs: 16,
             max_n: 64,
             jobs: 1,
+            kernel: Kernel::default(),
         }
     }
 
     /// The same configuration with `jobs` worker threads.
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The same configuration under an explicit simulation kernel.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }

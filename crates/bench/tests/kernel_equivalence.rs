@@ -1,0 +1,182 @@
+//! The kernel-equivalence contract: the event-driven skip-ahead kernel is
+//! **bit-identical** to the reference cycle stepper — same RNG draw
+//! sequence, same result structs (`==` on every field, f64s included), and
+//! with an enabled sink the same trace events.
+//!
+//! The exhaustive grids cover the ISSUE's acceptance matrix; the `forall!`
+//! properties fuzz the interior of the parameter space with shrinking.
+
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim, Kernel};
+use abs_net::{Arbitration, NetworkBackoff, PacketConfig, PacketSim};
+use abs_obs::trace::Ring;
+use abs_sim::check::{self, Config};
+use abs_sim::forall;
+use abs_sim::sweep::derive_seed;
+
+/// One representative of every `BackoffPolicy` variant.
+fn barrier_policies() -> [BackoffPolicy; 8] {
+    [
+        BackoffPolicy::None,
+        BackoffPolicy::on_variable(),
+        BackoffPolicy::Linear { step: 10 },
+        BackoffPolicy::exponential(2),
+        BackoffPolicy::exponential(8),
+        BackoffPolicy::exponential_capped(8, 64),
+        BackoffPolicy::ExponentialJittered { base: 2 },
+        BackoffPolicy::QueueOnThreshold {
+            base: 2,
+            threshold: 64,
+            wake_cost: 100,
+        },
+    ]
+}
+
+/// One representative of every `NetworkBackoff` variant.
+fn packet_policies() -> [NetworkBackoff; 6] {
+    [
+        NetworkBackoff::None,
+        NetworkBackoff::DepthProportional { factor: 2 },
+        NetworkBackoff::InverseDepth { factor: 2 },
+        NetworkBackoff::ConstantRtt { rtt: 8 },
+        NetworkBackoff::ExponentialRetries { base: 4, cap: 4096 },
+        NetworkBackoff::QueueFeedback { factor: 8 },
+    ]
+}
+
+#[test]
+fn barrier_exhaustive_grid_bit_identical() {
+    // The acceptance matrix: every policy variant × every arbitration mode
+    // × N ∈ {1, 2, 64, 512} × A ∈ {0, 100, 1000}.
+    for policy in barrier_policies() {
+        for arb in Arbitration::ALL {
+            for n in [1usize, 2, 64, 512] {
+                for a in [0u64, 100, 1000] {
+                    let sim =
+                        BarrierSim::new(BarrierConfig::new(n, a).with_arbitration(arb), policy);
+                    let seed = derive_seed(0xE0E0, (n as u64) << 32 | a);
+                    let cycle = sim.run_with(seed, Kernel::Cycle);
+                    let event = sim.run_with(seed, Kernel::Event);
+                    assert_eq!(
+                        cycle, event,
+                        "{policy:?} {arb:?} N={n} A={a} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn property_barrier_kernels_bit_identical() {
+    let policies = barrier_policies();
+    forall!(Config::with_cases(96), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..8),
+        arb_ix in check::usize_in(0..3),
+        n in check::usize_in(1..129),
+        a in check::u64_in(0..=1500),
+    ) {
+        let cfg = BarrierConfig::new(n, a).with_arbitration(Arbitration::ALL[arb_ix]);
+        let sim = BarrierSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+#[test]
+fn barrier_traces_bit_identical() {
+    for policy in [
+        BackoffPolicy::None,
+        BackoffPolicy::exponential(2),
+        BackoffPolicy::QueueOnThreshold {
+            base: 2,
+            threshold: 64,
+            wake_cost: 100,
+        },
+    ] {
+        for arb in Arbitration::ALL {
+            let sim =
+                BarrierSim::new(BarrierConfig::new(64, 1000).with_arbitration(arb), policy);
+            let mut cycle_ring = Ring::new(1 << 20);
+            let mut event_ring = Ring::new(1 << 20);
+            let a = sim.run_traced_with(3, &mut cycle_ring, Kernel::Cycle);
+            let b = sim.run_traced_with(3, &mut event_ring, Kernel::Event);
+            assert_eq!(a, b, "{policy:?} {arb:?}");
+            let cycle_events = cycle_ring.into_events();
+            let event_events = event_ring.into_events();
+            assert_eq!(cycle_events, event_events, "{policy:?} {arb:?}");
+            assert!(!cycle_events.is_empty());
+        }
+    }
+}
+
+#[test]
+fn packet_exhaustive_policies_bit_identical() {
+    let cfg = PacketConfig {
+        log2_size: 4,
+        queue_capacity: 4,
+        injection_rate: 0.6,
+        hot_fraction: 0.4,
+        warmup_cycles: 300,
+        measure_cycles: 3_000,
+        memory_service_cycles: 2,
+        max_outstanding: 2,
+    };
+    for policy in packet_policies() {
+        let sim = PacketSim::new(cfg, policy);
+        for seed in 0..3u64 {
+            assert_eq!(
+                sim.run_with(seed, Kernel::Cycle),
+                sim.run_with(seed, Kernel::Event),
+                "{policy:?} seed={seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn property_packet_kernels_bit_identical() {
+    let policies = packet_policies();
+    forall!(Config::with_cases(48), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..6),
+        rate in check::f64_in(0.0..1.0),
+        hot in check::f64_in(0.0..0.9),
+        outstanding in check::usize_in(1..5),
+    ) {
+        let cfg = PacketConfig {
+            log2_size: 3,
+            queue_capacity: 4,
+            injection_rate: rate,
+            hot_fraction: hot,
+            warmup_cycles: 100,
+            measure_cycles: 1_500,
+            memory_service_cycles: 2,
+            max_outstanding: outstanding as u32,
+        };
+        let sim = PacketSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+#[test]
+fn packet_traces_bit_identical() {
+    let cfg = PacketConfig {
+        log2_size: 4,
+        queue_capacity: 4,
+        injection_rate: 0.7,
+        hot_fraction: 0.5,
+        warmup_cycles: 100,
+        measure_cycles: 1_500,
+        memory_service_cycles: 2,
+        max_outstanding: 4,
+    };
+    for policy in packet_policies() {
+        let sim = PacketSim::new(cfg, policy);
+        let mut cycle_ring = Ring::new(1 << 21);
+        let mut event_ring = Ring::new(1 << 21);
+        let a = sim.run_traced_with(5, &mut cycle_ring, Kernel::Cycle);
+        let b = sim.run_traced_with(5, &mut event_ring, Kernel::Event);
+        assert_eq!(a, b, "{policy:?}");
+        assert_eq!(cycle_ring.into_events(), event_ring.into_events(), "{policy:?}");
+    }
+}

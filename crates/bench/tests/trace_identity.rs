@@ -13,7 +13,10 @@ use abs_obs::trace::Event;
 /// Renders the requested exhibits exactly as the repro binary does at the
 /// given `--jobs` value and returns the assembled sim-lane document bytes.
 fn sim_trace_bytes(targets: &[&str], jobs: usize) -> String {
-    let config = ReproConfig::quick();
+    sim_trace_bytes_with(targets, jobs, ReproConfig::quick())
+}
+
+fn sim_trace_bytes_with(targets: &[&str], jobs: usize, config: ReproConfig) -> String {
     let (pool_workers, inner_jobs) = if targets.len() <= 1 {
         (1, jobs)
     } else {
@@ -56,6 +59,19 @@ fn multi_exhibit_sim_lanes_byte_identical_across_jobs() {
     let one = sim_trace_bytes(&targets, 1);
     let eight = sim_trace_bytes(&targets, 8);
     assert_eq!(one, eight);
+}
+
+#[test]
+fn sim_lanes_byte_identical_across_kernels() {
+    // The event kernel's trace contract is byte-level: the rendered
+    // Chrome-trace document must be identical to the cycle oracle's, for
+    // both the barrier and the packet substrates.
+    use abs_sim::Kernel;
+    let targets = ["fig7", "netback"];
+    let cycle = sim_trace_bytes_with(&targets, 2, ReproConfig::quick().with_kernel(Kernel::Cycle));
+    let event = sim_trace_bytes_with(&targets, 2, ReproConfig::quick().with_kernel(Kernel::Event));
+    assert_eq!(cycle, event, "kernels must render identical sim lanes");
+    validate(&Value::parse(&cycle).unwrap()).unwrap();
 }
 
 #[test]

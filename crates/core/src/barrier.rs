@@ -17,12 +17,32 @@
 //! The two reported metrics are the paper's: the number of network accesses
 //! each process makes from arriving at the barrier variable to proceeding
 //! past the flag, and the number of cycles that takes.
+//!
+//! # Kernels
+//!
+//! Two bit-identical implementations drive an episode (selected by
+//! [`Kernel`]): the reference **cycle stepper** ([`Kernel::Cycle`]), which
+//! rescans all `N` processors every simulated cycle, and the default
+//! **event-driven skip-ahead kernel** ([`Kernel::Event`]), which keeps the
+//! pending-request sets incrementally (id-sorted, so arbitration sees the
+//! same request slices), parks future wake-ups in a bucketed
+//! [`TimeWheel`](crate::wheel::TimeWheel), and jumps the clock over dead
+//! cycles. Both kernels process exactly the same set of *busy* cycles —
+//! every processed cycle has at least one pending request (asserted) — so
+//! the RNG draw sequence, the [`BarrierRun`], and the trace bytes emitted
+//! into an enabled sink are identical. Per-cycle occupancy counters
+//! (`var_queue` / `flag_queue`) are therefore only defined on cycles where
+//! a request set is non-empty; skipped dead cycles are never sampled.
+
+use std::collections::BTreeSet;
 
 use abs_net::module::{Arbitration, MemoryModule, Request};
 use abs_obs::trace::{Noop, TraceSink};
+use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 
 use crate::policy::BackoffPolicy;
+use crate::wheel::TimeWheel;
 
 /// Static parameters of a barrier episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -200,25 +220,59 @@ impl BarrierSim {
         self.policy
     }
 
-    /// Simulates one barrier episode with the given seed.
+    /// Simulates one barrier episode with the given seed on the default
+    /// (event-driven) kernel.
     pub fn run(&self, seed: u64) -> BarrierRun {
         self.run_traced(seed, &mut Noop)
     }
 
-    /// Simulates one barrier episode, emitting a cycle-resolved trace into
-    /// `sink`.
+    /// Simulates one barrier episode on the given kernel.
+    ///
+    /// `Kernel::Cycle` is the reference oracle; `Kernel::Event` is
+    /// bit-identical and much faster (the equivalence suite in `abs-bench`
+    /// asserts the identity).
+    pub fn run_with(&self, seed: u64, kernel: Kernel) -> BarrierRun {
+        self.run_traced_with(seed, &mut Noop, kernel)
+    }
+
+    /// Simulates one barrier episode on the default (event-driven) kernel,
+    /// emitting a cycle-resolved trace into `sink`.
     ///
     /// Lane layout (`tid` = processor index; counters on `tid == n`):
     /// per-processor `barrier` spans from arrival to passing the flag, with
     /// nested `var`, `backoff` and `flag-write` spans and `poll-hit` /
     /// `poll-miss` / `park` / `wake` / `flag-set` instants; per-cycle
-    /// `var_queue` / `flag_queue` occupancy counters.
+    /// `var_queue` / `flag_queue` occupancy counters. Occupancy counters
+    /// are sampled exactly on busy cycles (at least one request pending);
+    /// dead cycles are skipped by both kernels and never sampled.
     ///
     /// Instrumentation never touches the RNG or the simulation state:
     /// `run(seed)` is exactly `run_traced(seed, &mut Noop)`, and results
     /// are bit-identical whichever sink is supplied (asserted by the
     /// `obs_trace` test suite).
     pub fn run_traced<S: TraceSink>(&self, seed: u64, sink: &mut S) -> BarrierRun {
+        self.run_traced_with(seed, sink, Kernel::default())
+    }
+
+    /// Simulates one traced barrier episode on the given kernel.
+    ///
+    /// For a fixed seed the two kernels emit byte-identical traces into an
+    /// enabled sink: same events, same order, same timestamps.
+    pub fn run_traced_with<S: TraceSink>(
+        &self,
+        seed: u64,
+        sink: &mut S,
+        kernel: Kernel,
+    ) -> BarrierRun {
+        match kernel {
+            Kernel::Cycle => self.run_cycle_kernel(seed, sink),
+            Kernel::Event => self.run_event_kernel(seed, sink),
+        }
+    }
+
+    /// The reference cycle stepper: every simulated cycle rescans all `N`
+    /// processors to activate arrivals/expiries and collect requests.
+    fn run_cycle_kernel<S: TraceSink>(&self, seed: u64, sink: &mut S) -> BarrierRun {
         let n = self.config.n;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
@@ -284,7 +338,13 @@ impl BarrierSim {
                 }
             }
 
-            // Module-occupancy counters (one sample per simulated cycle).
+            // Module-occupancy counters (one sample per *busy* cycle; the
+            // clock below skips cycles with no pending request, so those
+            // are never sampled — the event kernel relies on this).
+            debug_assert!(
+                !var_reqs.is_empty() || !flag_reqs.is_empty(),
+                "processed a dead cycle at {now}"
+            );
             if sink.enabled() {
                 sink.counter(n as u32, now, "var_queue", &[("waiters", var_reqs.len() as f64)]);
                 sink.counter(n as u32, now, "flag_queue", &[("waiters", flag_reqs.len() as f64)]);
@@ -418,23 +478,395 @@ impl BarrierSim {
             }
         }
 
-        let accesses: Vec<u64> = procs
+        collect_run(n, &procs, flag_set_at)
+    }
+
+    /// The event-driven skip-ahead kernel.
+    ///
+    /// Instead of rescanning all `N` processors per cycle, it maintains the
+    /// two pending-request sets incrementally in a [`PendingSet`] (sorted
+    /// by processor id, so random arbitration indexes into exactly the
+    /// slice the cycle stepper's id-ordered collection scan would build)
+    /// and parks dormant processors (future arrivals, `Waiting { until }`
+    /// backoffs) in a bucketed [`TimeWheel`]. Per busy cycle the work is
+    /// O(events), not O(N) — and not O(pending) either: presented-access
+    /// charges are applied in bulk when a request leaves its set (a request
+    /// is pending on *every* cycle of `[since, served]`, because the clock
+    /// never skips while a set is non-empty), and each winner is picked
+    /// without scanning the set. Dead cycles are jumped via the wheel's
+    /// next-event clock.
+    ///
+    /// Bit-identity with the cycle stepper rests on three invariants:
+    ///
+    /// 1. **Same busy cycles.** A processed cycle always has a pending
+    ///    request (asserted in both kernels), phases only change on serve
+    ///    or activation, and the jump target is the earliest wake-up — so
+    ///    the set of processed cycles is identical.
+    /// 2. **Same RNG draw order.** Per cycle: variable arbitration, then
+    ///    flag arbitration, then any sampled backoff delay. Both modules
+    ///    are arbitrated on snapshots taken before either winner's
+    ///    transition is applied; a variable winner's flag request becomes
+    ///    pending at `now + 1`, exactly as in the cycle stepper.
+    /// 3. **Same trace order.** Activations fire in id order (the wheel
+    ///    pops sorted), counters sample the same busy cycles, and the
+    ///    variable handler's events precede the flag handler's.
+    fn run_event_kernel<S: TraceSink>(&self, seed: u64, sink: &mut S) -> BarrierRun {
+        let n = self.config.n;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let arrivals = rng.uniform_arrivals(n, self.config.span);
+
+        let mut procs: Vec<Proc> = arrivals
             .iter()
-            .map(|p| p.var_accesses + p.flag_before + p.flag_after)
+            .map(|&arrival| Proc {
+                arrival,
+                phase: Phase::NotArrived,
+                var_accesses: 0,
+                flag_before: 0,
+                flag_after: 0,
+                polls: 0,
+                done_at: 0,
+                was_queued: false,
+            })
             .collect();
-        let waiting: Vec<u64> = procs.iter().map(|p| p.done_at - p.arrival).collect();
-        let completion = procs.iter().map(|p| p.done_at).max().unwrap_or(0);
-        BarrierRun {
-            n,
-            var_accesses: procs.iter().map(|p| p.var_accesses).sum(),
-            flag_before: procs.iter().map(|p| p.flag_before).sum(),
-            flag_after: procs.iter().map(|p| p.flag_after).sum(),
-            queued: procs.iter().filter(|p| p.was_queued).count(),
-            flag_set_at: flag_set_at.expect("flag must be set before completion"),
-            completion,
-            accesses,
-            waiting,
+
+        let mut now = arrivals[0];
+        let mut barrier_count = 0usize;
+        let mut flag_set_at: Option<u64> = None;
+        let mut done = 0usize;
+
+        let mut wheel = TimeWheel::new(now);
+        for (id, &arrival) in arrivals.iter().enumerate() {
+            wheel.schedule(arrival, id);
         }
+        // Pending-request sets, id-sorted (see the bit-identity notes).
+        let mut var_pending = PendingSet::new(self.config.arbitration, n);
+        let mut flag_pending = PendingSet::new(self.config.arbitration, n);
+        // First cycle the current flag request has been charged from.
+        // Unlike `Request::since`, never re-aged by a zero-delay poll miss:
+        // the request stays pending across the miss, so its charge interval
+        // runs unbroken from the original enqueue.
+        let mut flag_from: Vec<u64> = vec![0; n];
+        // Parked processors, id-sorted (the wake scan must visit them in
+        // the cycle stepper's id order).
+        let mut queued: Vec<usize> = Vec::new();
+        let mut due: Vec<usize> = Vec::new();
+
+        while done < n {
+            // Activate arrivals and expired waits due this cycle, in id
+            // order.
+            wheel.pop_due(now, &mut due);
+            for &id in &due {
+                let p = &mut procs[id];
+                match p.phase {
+                    Phase::NotArrived => {
+                        p.phase = Phase::VarRequest { since: now };
+                        var_pending.insert(Request::new(id, now));
+                        sink.span_begin(id as u32, now, "barrier", &[]);
+                        sink.span_begin(id as u32, now, "var", &[]);
+                    }
+                    Phase::Waiting { until } => {
+                        debug_assert!(until <= now);
+                        p.phase = Phase::FlagPoll { since: now };
+                        flag_pending.insert(Request::new(id, now));
+                        flag_from[id] = now;
+                    }
+                    _ => unreachable!("only dormant processors sleep in the wheel"),
+                }
+            }
+
+            // Occupancy counters: sampled exactly on busy cycles, like the
+            // cycle stepper. (Presented-access charges are NOT applied here
+            // — they are folded in wholesale when a request is removed.)
+            debug_assert!(
+                !var_pending.is_empty() || !flag_pending.is_empty(),
+                "processed a dead cycle at {now}"
+            );
+            if sink.enabled() {
+                sink.counter(n as u32, now, "var_queue", &[("waiters", var_pending.len() as f64)]);
+                sink.counter(n as u32, now, "flag_queue", &[("waiters", flag_pending.len() as f64)]);
+            }
+
+            // Arbitrate both modules on this cycle's snapshots. The RNG
+            // draw order (variable, then flag) matches the cycle stepper;
+            // the variable winner's transition cannot join this cycle's
+            // flag arbitration because its flag request is pending only
+            // from `now + 1`.
+            let var_winner = var_pending.arbitrate(&mut rng);
+            let flag_winner = flag_pending.arbitrate(&mut rng);
+
+            // Serve the barrier-variable winner.
+            if let Some(winner) = var_winner {
+                let req = var_pending.remove(winner);
+                barrier_count += 1;
+                let i = barrier_count;
+                let p = &mut procs[winner];
+                // Presented on every cycle since enqueue, served or denied.
+                p.var_accesses += now - req.since + 1;
+                sink.span_end(
+                    winner as u32,
+                    now,
+                    "var",
+                    &[("accesses", p.var_accesses as f64), ("count", i as f64)],
+                );
+                if i == n {
+                    p.phase = Phase::FlagWrite { since: now + 1 };
+                    flag_pending.insert(Request::new(winner, now + 1));
+                    flag_from[winner] = now + 1;
+                    sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
+                } else {
+                    let wait = self.policy.variable_wait(n, i);
+                    if wait == 0 {
+                        p.phase = Phase::FlagPoll { since: now + 1 };
+                        flag_pending.insert(Request::new(winner, now + 1));
+                        flag_from[winner] = now + 1;
+                    } else {
+                        sink.span_begin(winner as u32, now + 1, "backoff", &[("wait", wait as f64)]);
+                        sink.span_end(winner as u32, now + 1 + wait, "backoff", &[]);
+                        p.phase = Phase::Waiting { until: now + 1 + wait };
+                        wheel.schedule(now + 1 + wait, winner);
+                    }
+                }
+            }
+
+            // Serve the flag winner.
+            if let Some(winner) = flag_winner {
+                let set = flag_set_at.is_some_and(|t| now >= t);
+                let phase = procs[winner].phase;
+                match phase {
+                    Phase::FlagWrite { .. } => {
+                        flag_pending.remove(winner);
+                        charge_flag(&mut procs[winner], flag_from[winner], now, flag_set_at);
+                        flag_set_at = Some(now);
+                        let p = &mut procs[winner];
+                        p.phase = Phase::Done;
+                        p.done_at = now;
+                        done += 1;
+                        sink.span_end(winner as u32, now, "flag-write", &[]);
+                        sink.instant(winner as u32, now, "flag-set", &[]);
+                        sink.span_end(winner as u32, now, "barrier", &[]);
+                        // Wake everything already parked, in id order.
+                        let wake = now + self.policy.wake_cost();
+                        for &qid in &queued {
+                            let q = &mut procs[qid];
+                            q.phase = Phase::Done;
+                            q.done_at = wake;
+                            // The wake-up notification / refetch is one
+                            // more network transaction.
+                            q.flag_after += 1;
+                            done += 1;
+                            sink.instant(qid as u32, wake, "wake", &[]);
+                            sink.span_end(qid as u32, wake, "barrier", &[]);
+                        }
+                        queued.clear();
+                    }
+                    Phase::FlagPoll { .. } => {
+                        if set {
+                            flag_pending.remove(winner);
+                            charge_flag(&mut procs[winner], flag_from[winner], now, flag_set_at);
+                            let p = &mut procs[winner];
+                            p.phase = Phase::Done;
+                            p.done_at = now;
+                            done += 1;
+                            sink.instant(winner as u32, now, "poll-hit", &[]);
+                            sink.span_end(winner as u32, now, "barrier", &[]);
+                        } else {
+                            let p = &mut procs[winner];
+                            p.polls += 1;
+                            sink.instant(
+                                winner as u32,
+                                now,
+                                "poll-miss",
+                                &[("polls", f64::from(p.polls))],
+                            );
+                            match self.policy.sampled_flag_delay(p.polls, &mut rng) {
+                                Some(0) => {
+                                    // Still pending next cycle; only the
+                                    // request age changes (oldest-first
+                                    // arbitration reads it). The charge
+                                    // interval keeps running — no removal.
+                                    p.phase = Phase::FlagPoll { since: now + 1 };
+                                    flag_pending.refresh(winner, now + 1);
+                                }
+                                Some(d) => {
+                                    sink.span_begin(
+                                        winner as u32,
+                                        now + 1,
+                                        "backoff",
+                                        &[("wait", d as f64)],
+                                    );
+                                    sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
+                                    flag_pending.remove(winner);
+                                    charge_flag(p, flag_from[winner], now, flag_set_at);
+                                    p.phase = Phase::Waiting { until: now + 1 + d };
+                                    wheel.schedule(now + 1 + d, winner);
+                                }
+                                None => {
+                                    // Park; the enqueue operation itself is a
+                                    // network transaction.
+                                    flag_pending.remove(winner);
+                                    charge_flag(p, flag_from[winner], now, flag_set_at);
+                                    p.phase = Phase::Queued;
+                                    p.was_queued = true;
+                                    p.flag_before += 1;
+                                    let at = queued.binary_search(&winner).unwrap_err();
+                                    queued.insert(at, winner);
+                                    sink.instant(winner as u32, now, "park", &[]);
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("only flag requesters are served by the flag module"),
+                }
+            }
+
+            // Advance time: one cycle while anything is pending, else jump
+            // to the next wake-up.
+            if !var_pending.is_empty() || !flag_pending.is_empty() {
+                now += 1;
+            } else if done < n {
+                let next = wheel
+                    .peek_min()
+                    .expect("undone processors must have a next event");
+                now = next.max(now + 1);
+            }
+        }
+
+        collect_run(n, &procs, flag_set_at)
+    }
+}
+
+/// Builds the episode result from the final processor states (shared by
+/// both kernels, so the field derivations cannot drift apart).
+fn collect_run(n: usize, procs: &[Proc], flag_set_at: Option<u64>) -> BarrierRun {
+    let accesses: Vec<u64> = procs
+        .iter()
+        .map(|p| p.var_accesses + p.flag_before + p.flag_after)
+        .collect();
+    let waiting: Vec<u64> = procs.iter().map(|p| p.done_at - p.arrival).collect();
+    let completion = procs.iter().map(|p| p.done_at).max().unwrap_or(0);
+    BarrierRun {
+        n,
+        var_accesses: procs.iter().map(|p| p.var_accesses).sum(),
+        flag_before: procs.iter().map(|p| p.flag_before).sum(),
+        flag_after: procs.iter().map(|p| p.flag_after).sum(),
+        queued: procs.iter().filter(|p| p.was_queued).count(),
+        flag_set_at: flag_set_at.expect("flag must be set before completion"),
+        completion,
+        accesses,
+        waiting,
+    }
+}
+
+/// One memory module's pending-request set for the event kernel.
+///
+/// The id-sorted vector *is* the request snapshot the cycle stepper would
+/// hand to [`MemoryModule::arbitrate`], so random arbitration indexes into
+/// the identical slice with the identical draw. The winner is picked
+/// without scanning the set: random in O(1), round-robin by binary
+/// searching the rotating base, oldest-first through a `(since, id)`
+/// ordered index that is maintained only under that policy (the other
+/// modes never pay for it).
+struct PendingSet {
+    policy: Arbitration,
+    requests: Vec<Request>,
+    /// Rotating round-robin priority; mirrors the module's last winner.
+    last_winner: Option<usize>,
+    /// `(since, id)` ordered view; maintained only under `OldestFirst`.
+    by_age: BTreeSet<(u64, usize)>,
+}
+
+impl PendingSet {
+    fn new(policy: Arbitration, capacity: usize) -> Self {
+        Self {
+            policy,
+            requests: Vec::with_capacity(capacity),
+            last_winner: None,
+            by_age: BTreeSet::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    fn insert(&mut self, req: Request) {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&req.id))
+            .expect_err("processor already pending");
+        self.requests.insert(at, req);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.insert((req.since, req.id));
+        }
+    }
+
+    /// Removes and returns processor `id`'s request.
+    fn remove(&mut self, id: usize) -> Request {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .expect("processor must be pending");
+        let req = self.requests.remove(at);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.remove(&(req.since, req.id));
+        }
+        req
+    }
+
+    /// Re-ages processor `id`'s pending request to `since`.
+    fn refresh(&mut self, id: usize, since: u64) {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .expect("processor must be pending");
+        let old = std::mem::replace(&mut self.requests[at].since, since);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.remove(&(old, id));
+            self.by_age.insert((since, id));
+        }
+    }
+
+    /// Picks this cycle's winner exactly as [`MemoryModule::arbitrate`]
+    /// would on the same snapshot: the same single RNG draw (random policy,
+    /// non-empty set only) and the same tie-breaks.
+    fn arbitrate(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<usize> {
+        if self.requests.is_empty() {
+            return None;
+        }
+        let winner = match self.policy {
+            Arbitration::Random => self.requests[rng.next_below_usize(self.requests.len())].id,
+            Arbitration::RoundRobin => {
+                // Smallest id at-or-above the rotating base, wrapping to
+                // the smallest id overall.
+                let base = self.last_winner.map_or(0, |w| w + 1);
+                let at = self.requests.partition_point(|r| r.id < base);
+                self.requests[if at < self.requests.len() { at } else { 0 }].id
+            }
+            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1,
+        };
+        self.last_winner = Some(winner);
+        Some(winner)
+    }
+}
+
+/// Applies the presented-access charges for a flag request that was
+/// pending over every cycle of `[from, to]`, split into before/after the
+/// flag was observed set. The cycle stepper charges at the top of a cycle,
+/// before any flag service — so the cycle that *sets* the flag (and every
+/// one up to it) still charges as "before"; only cycles strictly after
+/// `flag_set_at` charge as "after".
+fn charge_flag(p: &mut Proc, from: u64, to: u64, flag_set_at: Option<u64>) {
+    match flag_set_at {
+        Some(f) if f < from => p.flag_after += to - from + 1,
+        Some(f) if f < to => {
+            p.flag_before += f - from + 1;
+            p.flag_after += to - f;
+        }
+        _ => p.flag_before += to - from + 1,
     }
 }
 
@@ -460,6 +892,54 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = BarrierSim::new(BarrierConfig::new(32, 100), BackoffPolicy::exponential(2));
         assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn kernels_bit_identical() {
+        // The event kernel must reproduce the cycle stepper exactly across
+        // every policy / arbitration mix; the broad sweep lives in the
+        // `kernel_equivalence` suite, this is the in-crate smoke version.
+        let policies = [
+            BackoffPolicy::None,
+            BackoffPolicy::exponential(2),
+            BackoffPolicy::Linear { step: 10 },
+            BackoffPolicy::on_variable(),
+            BackoffPolicy::ExponentialJittered { base: 2 },
+            BackoffPolicy::QueueOnThreshold {
+                base: 2,
+                threshold: 64,
+                wake_cost: 100,
+            },
+        ];
+        for policy in policies {
+            for arb in Arbitration::ALL {
+                let cfg = BarrierConfig::new(48, 400).with_arbitration(arb);
+                let sim = BarrierSim::new(cfg, policy);
+                for seed in 0..4 {
+                    assert_eq!(
+                        sim.run_with(seed, Kernel::Cycle),
+                        sim.run_with(seed, Kernel::Event),
+                        "policy {policy:?} arbitration {arb:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_emit_identical_traces() {
+        use abs_obs::trace::Ring;
+        let sim = BarrierSim::new(
+            BarrierConfig::new(24, 300).with_arbitration(Arbitration::Random),
+            BackoffPolicy::exponential(2),
+        );
+        let mut cycle_ring = Ring::new(1 << 16);
+        let mut event_ring = Ring::new(1 << 16);
+        let a = sim.run_traced_with(11, &mut cycle_ring, Kernel::Cycle);
+        let b = sim.run_traced_with(11, &mut event_ring, Kernel::Event);
+        assert_eq!(a, b);
+        assert_eq!(cycle_ring.events(), event_ring.events());
+        assert!(!cycle_ring.events().is_empty());
     }
 
     #[test]

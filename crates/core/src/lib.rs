@@ -49,10 +49,12 @@ pub mod policy;
 pub mod resource;
 pub mod single;
 pub mod traffic;
+pub mod wheel;
 
+pub use abs_sim::kernel::Kernel;
 pub use barrier::{BarrierConfig, BarrierRun, BarrierSim};
 pub use combining::{CombiningConfig, CombiningRun, CombiningTreeSim};
-pub use metrics::{BarrierAggregate, aggregate_runs};
+pub use metrics::{aggregate_runs, aggregate_runs_with, BarrierAggregate};
 pub use policy::BackoffPolicy;
 pub use resource::{ResourceConfig, ResourcePolicy, ResourceRun, ResourceSim};
 pub use single::{SingleCounterRun, SingleCounterSim};

@@ -6,6 +6,7 @@
 //! procedure for any simulator and exposes both the means and the spread so
 //! tests can check the claim.
 
+use abs_sim::kernel::Kernel;
 use abs_sim::stats::{OnlineStats, Summary};
 use abs_sim::sweep::Repetitions;
 
@@ -70,6 +71,23 @@ impl BarrierAggregate {
 ///
 /// Panics if `reps == 0`.
 pub fn aggregate_runs(sim: &BarrierSim, reps: u32, seed: u64) -> BarrierAggregate {
+    aggregate_runs_with(sim, reps, seed, Kernel::default())
+}
+
+/// [`aggregate_runs`] with an explicit simulation [`Kernel`].
+///
+/// Both kernels are bit-identical, so the aggregate is too; the parameter
+/// exists so sweeps and benchmarks can pin the reference cycle stepper.
+///
+/// # Panics
+///
+/// Panics if `reps == 0`.
+pub fn aggregate_runs_with(
+    sim: &BarrierSim,
+    reps: u32,
+    seed: u64,
+    kernel: Kernel,
+) -> BarrierAggregate {
     assert!(reps > 0, "at least one repetition required");
     let mut accesses = OnlineStats::new();
     let mut waiting = OnlineStats::new();
@@ -82,7 +100,7 @@ pub fn aggregate_runs(sim: &BarrierSim, reps: u32, seed: u64) -> BarrierAggregat
     // `Repetitions` owns the seed-derivation rule; this loop must see the
     // exact seed sequence the parallel executors replay.
     for run_seed in Repetitions::new(reps, seed).seeds() {
-        let run = sim.run(run_seed);
+        let run = sim.run_with(run_seed, kernel);
         accesses.push(run.mean_accesses());
         waiting.push(run.mean_waiting());
         var_accesses.push(run.mean_var_accesses());
@@ -145,6 +163,15 @@ mod tests {
                 "n={n} A={a}: standard error {standard_error}"
             );
         }
+    }
+
+    #[test]
+    fn kernels_aggregate_identically() {
+        let sim = BarrierSim::new(BarrierConfig::new(32, 500), BackoffPolicy::exponential(2));
+        assert_eq!(
+            aggregate_runs_with(&sim, 10, 9, Kernel::Cycle),
+            aggregate_runs_with(&sim, 10, 9, Kernel::Event)
+        );
     }
 
     #[test]

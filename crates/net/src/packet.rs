@@ -13,10 +13,23 @@
 //! a packet advances at most one stage per cycle, at most one packet enters
 //! a given queue per cycle, and each memory module consumes one packet per
 //! cycle. Processors are closed-loop with a single outstanding request.
+//!
+//! # Kernels
+//!
+//! The simulator ships two bit-identical kernels selected by
+//! [`abs_sim::Kernel`]: the reference cycle stepper ([`Kernel::Cycle`]),
+//! which rescans every port at every stage each cycle, and the event-driven
+//! kernel ([`Kernel::Event`]), which tracks per-stage occupancy and
+//! idle-processor sets incrementally and — with tracing disabled — jumps
+//! the clock over cycles where the network is empty and every processor is
+//! backed off. Same RNG draw sequence, same [`PacketOutcome`], and with an
+//! enabled sink the same trace bytes; the equivalence suite in `abs-bench`
+//! enforces it.
 
 use std::collections::VecDeque;
 
 use abs_obs::trace::{Noop, TraceSink};
+use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 use abs_sim::stats::OnlineStats;
 
@@ -196,6 +209,14 @@ impl PacketSim {
         self.run_traced(seed, &mut Noop)
     }
 
+    /// Runs the simulation under an explicit [`Kernel`].
+    ///
+    /// Both kernels are bit-identical; `Kernel::Cycle` is the reference
+    /// oracle the equivalence suite checks `Kernel::Event` against.
+    pub fn run_with(&self, seed: u64, kernel: Kernel) -> PacketOutcome {
+        self.run_traced_with(seed, &mut Noop, kernel)
+    }
+
     /// Runs the simulation, emitting a cycle-resolved trace into `sink`.
     ///
     /// Lane layout: per-cycle `hot_queue` and `stageN_depth` /
@@ -204,6 +225,25 @@ impl PacketSim {
     /// never touches the RNG: `run(seed)` is exactly
     /// `run_traced(seed, &mut Noop)`.
     pub fn run_traced<S: TraceSink>(&self, seed: u64, sink: &mut S) -> PacketOutcome {
+        self.run_traced_with(seed, sink, Kernel::default())
+    }
+
+    /// [`run_traced`](Self::run_traced) under an explicit [`Kernel`].
+    pub fn run_traced_with<S: TraceSink>(
+        &self,
+        seed: u64,
+        sink: &mut S,
+        kernel: Kernel,
+    ) -> PacketOutcome {
+        match kernel {
+            Kernel::Cycle => self.run_cycle_kernel(seed, sink),
+            Kernel::Event => self.run_event_kernel(seed, sink),
+        }
+    }
+
+    /// The reference cycle stepper: O(stages × ports) work per simulated
+    /// cycle, scanning every port whether occupied or not.
+    fn run_cycle_kernel<S: TraceSink>(&self, seed: u64, sink: &mut S) -> PacketOutcome {
         let topo = OmegaTopology::new(self.config.log2_size);
         let n = topo.size();
         let stages = topo.stages();
@@ -413,6 +453,290 @@ impl PacketSim {
             }
         }
 
+        self.collect_outcome(n, delivered, hot_delivered, blocked, &latency, &hot_queue_occupancy)
+    }
+
+    /// The event-driven kernel: incremental per-stage occupancy sets, an
+    /// incremental idle-processor set, and — with tracing disabled — a
+    /// skip-ahead clock for cycles where the network is empty and every
+    /// processor is backed off.
+    ///
+    /// Bit-identity with the cycle stepper hinges on iteration order: the
+    /// occupancy sets ([`PortSet`]) iterate ascending, reproducing the
+    /// stepper's `for p in 0..n` scans exactly, so collision coin flips and
+    /// injection draws consume the RNG in the same sequence. A cycle is
+    /// skippable only when it performs no RNG draw, no state change and no
+    /// trace emission: no packet anywhere (`total_packets == 0`), no
+    /// processor eligible to generate (an idle processor always draws
+    /// `next_bool`, even at rate 0), every retry in the future, and the
+    /// sink disabled. The skipped cycles' hot-queue occupancy samples are
+    /// still pushed (the queue is provably empty, so they are zeros).
+    fn run_event_kernel<S: TraceSink>(&self, seed: u64, sink: &mut S) -> PacketOutcome {
+        let topo = OmegaTopology::new(self.config.log2_size);
+        let n = topo.size();
+        let stages = topo.stages();
+        let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
+            .expect("validated hot fraction");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+
+        let mut queues: Vec<Vec<VecDeque<Packet>>> =
+            vec![vec![VecDeque::new(); n]; stages];
+        let mut pending: Vec<Option<PendingReq>> = vec![None; n];
+        let mut inflight: Vec<u32> = vec![0; n];
+
+        let total = self.config.warmup_cycles + self.config.measure_cycles;
+        let mut delivered = 0u64;
+        let mut hot_delivered = 0u64;
+        let mut blocked = 0u64;
+        let mut latency = OnlineStats::new();
+        let mut hot_queue_occupancy = OnlineStats::new();
+
+        let mut claim: Vec<Option<usize>> = vec![None; n];
+        let mut busy_until: Vec<u64> = vec![0; n];
+
+        // Incremental active sets. Invariants, restored after every phase:
+        // `occ[s]` holds exactly the ports with a non-empty stage-`s` queue,
+        // `stage_count[s]` their total packets, `total_packets` the global
+        // sum; `can_gen` holds exactly the processors with no pending
+        // request and spare outstanding capacity; `has_pending` the
+        // processors with a request waiting to inject.
+        let mut occ: Vec<PortSet> = vec![PortSet::new(n); stages];
+        let mut stage_count: Vec<usize> = vec![0; stages];
+        let mut total_packets: usize = 0;
+        let mut can_gen = PortSet::new(n);
+        for p in 0..n {
+            can_gen.set(p);
+        }
+        let mut has_pending = PortSet::new(n);
+        // Scratch buffers reused across cycles.
+        let mut active: Vec<usize> = Vec::with_capacity(n);
+        let mut claimed: Vec<usize> = Vec::with_capacity(n);
+
+        let mut now = 1u64;
+        while now <= total {
+            // Skip-ahead: see the method docs for why this exact condition
+            // makes the cycle dead.
+            if !sink.enabled() && total_packets == 0 && can_gen.is_empty() {
+                let next_retry = pending
+                    .iter()
+                    .flatten()
+                    .map(|r| r.retry_at)
+                    .min()
+                    .expect("an empty network with no idle processor has pending requests");
+                if next_retry > now {
+                    let target = next_retry.min(total + 1);
+                    // The hot queue is empty on every skipped cycle; sample
+                    // the measured ones as the stepper would.
+                    let measured_from = now.max(self.config.warmup_cycles + 1);
+                    for _ in measured_from..target {
+                        hot_queue_occupancy.push(0.0);
+                    }
+                    now = target;
+                    continue;
+                }
+            }
+            let measuring = now > self.config.warmup_cycles;
+
+            // 1. Memory modules consume from the last stage.
+            occ[stages - 1].collect_into(&mut active);
+            for &m in &active {
+                if busy_until[m] > now {
+                    continue;
+                }
+                let queue = &mut queues[stages - 1][m];
+                let pkt = queue.pop_front().expect("occupancy bit set");
+                if queue.is_empty() {
+                    occ[stages - 1].clear(m);
+                }
+                stage_count[stages - 1] -= 1;
+                total_packets -= 1;
+                busy_until[m] = now + self.config.memory_service_cycles;
+                let owner = pkt.owner;
+                inflight[owner] -= 1;
+                if pending[owner].is_none() && inflight[owner] < self.config.max_outstanding {
+                    can_gen.set(owner);
+                }
+                if measuring {
+                    delivered += 1;
+                    if pkt.hot {
+                        hot_delivered += 1;
+                    }
+                    latency.push((now - pkt.issued) as f64);
+                }
+            }
+
+            // 2. Advance packets one stage, last to first.
+            for s in (1..stages).rev() {
+                let mut collisions = 0u64;
+                if stage_count[s - 1] > 0 {
+                    claimed.clear();
+                    occ[s - 1].collect_into(&mut active);
+                    for &p in &active {
+                        let head = queues[s - 1][p].front().expect("occupancy bit set");
+                        let want = head.path[s];
+                        if queues[s][want].len() >= self.config.queue_capacity {
+                            continue;
+                        }
+                        match claim[want] {
+                            None => {
+                                claim[want] = Some(p);
+                                claimed.push(want);
+                            }
+                            Some(other) => {
+                                collisions += 1;
+                                claim[want] = Some(if rng.next_bool(0.5) { p } else { other });
+                            }
+                        }
+                    }
+                    for &want in &claimed {
+                        let src_port = claim[want].take().expect("claimed port has a winner");
+                        let queue = &mut queues[s - 1][src_port];
+                        let mut pkt = queue.pop_front().expect("claimed head exists");
+                        if queue.is_empty() {
+                            occ[s - 1].clear(src_port);
+                        }
+                        pkt.hop = s;
+                        queues[s][want].push_back(pkt);
+                        occ[s].set(want);
+                        stage_count[s - 1] -= 1;
+                        stage_count[s] += 1;
+                    }
+                }
+                if sink.enabled() && s < STAGE_COLLISIONS.len() {
+                    sink.counter(0, now, STAGE_COLLISIONS[s], &[("collisions", collisions as f64)]);
+                }
+            }
+
+            // 3. Generate new requests. Every idle processor draws, exactly
+            // like the stepper's `for p in 0..n` scan.
+            can_gen.collect_into(&mut active);
+            for &p in &active {
+                if rng.next_bool(self.config.injection_rate) {
+                    pending[p] = Some(PendingReq {
+                        dst: traffic.destination(&mut rng),
+                        issued: now,
+                        retry_at: now,
+                        retries: 0,
+                    });
+                    can_gen.clear(p);
+                    has_pending.set(p);
+                }
+            }
+
+            // 4. Inject pending packets into stage 0.
+            claimed.clear();
+            has_pending.collect_into(&mut active);
+            for &p in &active {
+                let PendingReq {
+                    dst,
+                    retry_at,
+                    issued,
+                    retries,
+                } = pending[p].expect("pending bit set");
+                if retry_at > now {
+                    continue;
+                }
+                let queue_len = queues[stages - 1][dst].len();
+                if queue_len > self.config.queue_capacity / 2 {
+                    let delay = self.policy.delay(CollisionInfo {
+                        depth: 0,
+                        stages,
+                        retries: 0,
+                        queue_len,
+                    });
+                    if delay > 0 {
+                        sink.instant(
+                            p as u32,
+                            now,
+                            "throttled",
+                            &[("queue_len", queue_len as f64), ("delay", delay as f64)],
+                        );
+                        pending[p] = Some(PendingReq {
+                            dst,
+                            issued,
+                            retry_at: now + delay,
+                            retries,
+                        });
+                        continue;
+                    }
+                }
+                let first_port = topo.path(p, dst)[0];
+                if queues[0][first_port].len() >= self.config.queue_capacity {
+                    self.block(p, &mut pending, &mut blocked, measuring, now, &queues, stages, sink);
+                    continue;
+                }
+                match claim[first_port] {
+                    None => {
+                        claim[first_port] = Some(p);
+                        claimed.push(first_port);
+                    }
+                    Some(_) => self.block(
+                        p,
+                        &mut pending,
+                        &mut blocked,
+                        measuring,
+                        now,
+                        &queues,
+                        stages,
+                        sink,
+                    ),
+                }
+            }
+            for &port in &claimed {
+                let p = claim[port].take().expect("claimed port has a winner");
+                let PendingReq { dst, issued, .. } =
+                    pending[p].expect("claimed processor has a request");
+                let path = topo.path(p, dst);
+                queues[0][port].push_back(Packet {
+                    owner: p,
+                    path,
+                    hop: 0,
+                    issued,
+                    hot: dst == 0,
+                });
+                occ[0].set(port);
+                stage_count[0] += 1;
+                total_packets += 1;
+                pending[p] = None;
+                has_pending.clear(p);
+                inflight[p] += 1;
+                if inflight[p] < self.config.max_outstanding {
+                    can_gen.set(p);
+                }
+            }
+
+            if sink.enabled() {
+                for (s, name) in STAGE_DEPTH.iter().enumerate().take(stages) {
+                    sink.counter(0, now, *name, &[("packets", stage_count[s] as f64)]);
+                }
+                sink.counter(
+                    0,
+                    now,
+                    "hot_queue",
+                    &[("packets", queues[stages - 1][0].len() as f64)],
+                );
+            }
+
+            if measuring {
+                hot_queue_occupancy.push(queues[stages - 1][0].len() as f64);
+            }
+            now += 1;
+        }
+
+        self.collect_outcome(n, delivered, hot_delivered, blocked, &latency, &hot_queue_occupancy)
+    }
+
+    /// Builds the outcome from the raw tallies (shared by both kernels so
+    /// the derived metrics cannot drift apart).
+    fn collect_outcome(
+        &self,
+        n: usize,
+        delivered: u64,
+        hot_delivered: u64,
+        blocked: u64,
+        latency: &OnlineStats,
+        hot_queue_occupancy: &OnlineStats,
+    ) -> PacketOutcome {
         let background = delivered - hot_delivered;
         let cycles = self.config.measure_cycles as f64;
         PacketOutcome {
@@ -468,6 +792,48 @@ impl PacketSim {
     }
 }
 
+/// A fixed-size bitset over port/processor indices.
+///
+/// [`collect_into`](Self::collect_into) yields indices in ascending order —
+/// the cycle stepper's `for p in 0..n` scan order, which the collision coin
+/// flips and generation draws depend on for bit-identity.
+#[derive(Debug, Clone)]
+struct PortSet {
+    words: Vec<u64>,
+}
+
+impl PortSet {
+    fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; (n + 63) / 64],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Replaces `out` with the set indices, ascending.
+    fn collect_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +855,75 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = PacketSim::new(quick_config(), NetworkBackoff::None);
         assert_eq!(sim.run(9), sim.run(9));
+    }
+
+    #[test]
+    fn kernels_bit_identical() {
+        // Smoke version of the `kernel_equivalence` suite: every policy
+        // family, a hot spot, queue feedback, multi-cycle service.
+        let policies = [
+            NetworkBackoff::None,
+            NetworkBackoff::DepthProportional { factor: 2 },
+            NetworkBackoff::InverseDepth { factor: 2 },
+            NetworkBackoff::ConstantRtt { rtt: 8 },
+            NetworkBackoff::ExponentialRetries { base: 2, cap: 256 },
+            NetworkBackoff::QueueFeedback { factor: 8 },
+        ];
+        let cfg = PacketConfig {
+            hot_fraction: 0.3,
+            injection_rate: 0.5,
+            warmup_cycles: 200,
+            measure_cycles: 2_000,
+            ..quick_config()
+        };
+        for policy in policies {
+            let sim = PacketSim::new(cfg, policy);
+            for seed in 0..3 {
+                assert_eq!(
+                    sim.run_with(seed, Kernel::Cycle),
+                    sim.run_with(seed, Kernel::Event),
+                    "policy {policy:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_with_skippable_dead_time() {
+        // A blocking processor population under heavy exponential backoff
+        // produces long stretches where the network is empty and everyone
+        // is backed off — exactly the cycles the event kernel skips.
+        let cfg = PacketConfig {
+            hot_fraction: 0.8,
+            injection_rate: 1.0,
+            max_outstanding: 1,
+            memory_service_cycles: 4,
+            ..quick_config()
+        };
+        let sim = PacketSim::new(cfg, NetworkBackoff::ExponentialRetries { base: 4, cap: 4096 });
+        for seed in 0..3 {
+            assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+        }
+    }
+
+    #[test]
+    fn kernels_emit_identical_traces() {
+        use abs_obs::trace::Ring;
+        let cfg = PacketConfig {
+            hot_fraction: 0.4,
+            injection_rate: 0.6,
+            warmup_cycles: 100,
+            measure_cycles: 1_000,
+            ..quick_config()
+        };
+        let sim = PacketSim::new(cfg, NetworkBackoff::QueueFeedback { factor: 8 });
+        let mut cycle_ring = Ring::new(1 << 20);
+        let mut event_ring = Ring::new(1 << 20);
+        let a = sim.run_traced_with(11, &mut cycle_ring, Kernel::Cycle);
+        let b = sim.run_traced_with(11, &mut event_ring, Kernel::Event);
+        assert_eq!(a, b);
+        assert_eq!(cycle_ring.events(), event_ring.events());
+        assert!(!cycle_ring.events().is_empty());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`check`] — an in-tree property-based testing mini-framework (the
 //!   [`forall!`] macro, generators, shrinking) so the workspace needs no
 //!   external test dependencies.
+//! * [`kernel`] — the [`Kernel`] selector shared by every simulator that
+//!   ships both a reference cycle stepper and the event-driven skip-ahead
+//!   kernel (bit-identical by contract; `cycle` is the oracle).
 //!
 //! # Examples
 //!
@@ -36,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod kernel;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use kernel::Kernel;
 pub use rng::{SplitMix64, Xoshiro256PlusPlus};
 pub use series::{Series, SeriesSet};
 pub use stats::{median, median_abs_deviation, Histogram, OnlineStats, Summary};
