@@ -10,6 +10,7 @@
 //! cargo run -p abs-bench --release --bin repro -- --trace t.json --metrics fig7
 //! cargo run -p abs-bench --release --bin repro -- --kernel cycle fig7
 //! cargo run -p abs-bench --release --bin repro -- --list
+//! cargo run -p abs-bench --release --bin repro -- lint --json
 //! ```
 //!
 //! `--kernel` selects the simulation kernel: `event` (default) is the
@@ -59,7 +60,36 @@ fn main() -> ExitCode {
             eprintln!("{message}\n\n{}", cli::help());
             ExitCode::FAILURE
         }
+        Parsed::Lint { json } => lint(json),
         Parsed::Run(options) => run(options),
+    }
+}
+
+/// `repro lint [--json]`: the abs-lint pass over this workspace. Exit code
+/// mirrors the standalone binary: 0 clean, 1 findings.
+fn lint(json: bool) -> ExitCode {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = match abs_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("repro lint: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.to_text());
+    if json {
+        match report.write_json(&default_out_dir()) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("repro lint: cannot write JSON report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -69,6 +69,11 @@ pub enum Parsed {
     Help,
     /// Print the exhibit table and exit successfully.
     List,
+    /// Run the abs-lint static-analysis pass (`repro lint [--json]`).
+    Lint {
+        /// Also write `repro_out/lint_report.json`.
+        json: bool,
+    },
     /// Reject the invocation with this message.
     Error(String),
 }
@@ -86,7 +91,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
     let mut metrics = false;
     let mut targets: Vec<String> = Vec::new();
 
-    let mut args = args.into_iter();
+    let mut args = args.into_iter().peekable();
+    // `repro lint [--json]` is a subcommand, not an experiment run.
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        let mut json = false;
+        for arg in args {
+            match arg.as_str() {
+                "--json" => json = true,
+                other => {
+                    return Parsed::Error(format!(
+                        "unknown lint argument {other:?}; usage: repro lint [--json]"
+                    ));
+                }
+            }
+        }
+        return Parsed::Lint { json };
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => {
@@ -202,7 +223,8 @@ pub fn help() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--kernel K] [--resume]\n\
-        \x20            [--csv DIR] [--trace FILE] [--metrics] <id>... | all\n\n\
+        \x20            [--csv DIR] [--trace FILE] [--metrics] <id>... | all\n\
+        \x20       repro lint [--json]\n\n\
          --jobs N    run exhibits on N worker threads (default: available\n\
         \x20            parallelism); output is bit-identical at any N\n\
          --kernel K  simulation kernel: event (default, skip-ahead) or\n\
@@ -214,7 +236,9 @@ pub fn help() -> String {
          --trace F   write a Chrome trace-event JSON file (open in Perfetto\n\
         \x20            or chrome://tracing); sim lanes are seed-deterministic\n\
          --metrics   print a metrics snapshot of the run\n\
-         --list      print the exhibit table (id + description) and exit\n\n\
+         --list      print the exhibit table (id + description) and exit\n\
+         lint        run the abs-lint static-analysis pass over the\n\
+        \x20            workspace (--json also writes repro_out/lint_report.json)\n\n\
          experiments: {}\n\
          (run `repro --list` for one-line descriptions)",
         IDS.join(" ")
@@ -382,6 +406,24 @@ mod tests {
         for flag in ["--trace", "--metrics", "--list", "--kernel"] {
             assert!(h.contains(flag), "help must mention {flag}");
         }
+    }
+
+    #[test]
+    fn lint_subcommand_parses() {
+        assert_eq!(parse(&["lint"]), Parsed::Lint { json: false });
+        assert_eq!(parse(&["lint", "--json"]), Parsed::Lint { json: true });
+        match parse(&["lint", "fig7"]) {
+            Parsed::Error(msg) => assert!(msg.contains("repro lint"), "{msg}"),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // Only the leading position makes it a subcommand: as a trailing
+        // word it is an unknown experiment.
+        assert!(matches!(parse(&["fig7", "lint"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn help_mentions_lint() {
+        assert!(help().contains("repro lint"), "{}", help());
     }
 
     #[test]

@@ -75,6 +75,40 @@ fn sim_lanes_byte_identical_across_kernels() {
 }
 
 #[test]
+fn skip_heavy_packet_trace_byte_identical_across_kernels() {
+    // A blocking-processor population under heavy exponential backoff
+    // spends most cycles with an empty network — the cycles the event
+    // kernel skips. With a sink attached it must bulk-emit the skipped
+    // cycles' all-zero counter rows, so the rendered Chrome document is
+    // still byte-identical to the cycle oracle's.
+    use abs_net::backoff::NetworkBackoff;
+    use abs_net::packet::{PacketConfig, PacketSim};
+    use abs_obs::trace::Ring;
+    use abs_sim::Kernel;
+
+    let cfg = PacketConfig {
+        log2_size: 4,
+        queue_capacity: 4,
+        injection_rate: 1.0,
+        hot_fraction: 0.8,
+        warmup_cycles: 200,
+        measure_cycles: 3_000,
+        memory_service_cycles: 4,
+        max_outstanding: 1,
+    };
+    let sim = PacketSim::new(cfg, NetworkBackoff::ExponentialRetries { base: 4, cap: 4096 });
+    let render = |kernel: Kernel| {
+        let mut ring = Ring::new(1 << 20);
+        sim.run_traced_with(5, &mut ring, kernel);
+        assemble_sim_trace(vec![("netback: skip-heavy".to_string(), ring.into_events())]).render()
+    };
+    let cycle = render(Kernel::Cycle);
+    let event = render(Kernel::Event);
+    assert_eq!(cycle, event, "kernels must render identical skip-heavy traces");
+    validate(&Value::parse(&cycle).unwrap()).unwrap();
+}
+
+#[test]
 fn full_document_with_wall_lanes_still_validates_and_filters() {
     let config = ReproConfig::quick();
     let mut set = JobSet::new(config.seed);

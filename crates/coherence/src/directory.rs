@@ -7,7 +7,7 @@
 //! scheme. Invalidations are forced to limit the cached copies of a block
 //! to i, or to gain exclusive ownership on a write."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The number of sharer pointers each directory entry can hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,7 +90,9 @@ impl DirEntry {
 pub struct Directory {
     limit: PointerLimit,
     procs: usize,
-    entries: HashMap<u64, DirEntry>,
+    // Ordered so that any iteration over tracked blocks is
+    // address-ordered, independent of insertion history and hasher state.
+    entries: BTreeMap<u64, DirEntry>,
 }
 
 impl Directory {
@@ -102,7 +104,7 @@ impl Directory {
         Self {
             limit,
             procs,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 

@@ -473,7 +473,7 @@ impl BarrierSim {
                         _ => None,
                     })
                     .min()
-                    .expect("undone processors must have a next event");
+                    .expect("undone processors must have a next event"); // abs-lint: allow(panic-path) -- done < n guarantees a scheduled event exists
                 now = next.max(now + 1);
             }
         }
@@ -726,7 +726,7 @@ impl BarrierSim {
             } else if done < n {
                 let next = wheel
                     .peek_min()
-                    .expect("undone processors must have a next event");
+                    .expect("undone processors must have a next event"); // abs-lint: allow(panic-path) -- done < n guarantees a scheduled event exists
                 now = next.max(now + 1);
             }
         }
@@ -750,7 +750,7 @@ fn collect_run(n: usize, procs: &[Proc], flag_set_at: Option<u64>) -> BarrierRun
         flag_before: procs.iter().map(|p| p.flag_before).sum(),
         flag_after: procs.iter().map(|p| p.flag_after).sum(),
         queued: procs.iter().filter(|p| p.was_queued).count(),
-        flag_set_at: flag_set_at.expect("flag must be set before completion"),
+        flag_set_at: flag_set_at.expect("flag must be set before completion"), // abs-lint: allow(panic-path) -- the loop exits only after completion, which requires the flag set
         completion,
         accesses,
         waiting,
@@ -809,7 +809,7 @@ impl PendingSet {
         let at = self
             .requests
             .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending");
+            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
         let req = self.requests.remove(at);
         if self.policy == Arbitration::OldestFirst {
             self.by_age.remove(&(req.since, req.id));
@@ -822,7 +822,7 @@ impl PendingSet {
         let at = self
             .requests
             .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending");
+            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
         let old = std::mem::replace(&mut self.requests[at].since, since);
         if self.policy == Arbitration::OldestFirst {
             self.by_age.remove(&(old, id));
@@ -846,7 +846,7 @@ impl PendingSet {
                 let at = self.requests.partition_point(|r| r.id < base);
                 self.requests[if at < self.requests.len() { at } else { 0 }].id
             }
-            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1,
+            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1, // abs-lint: allow(panic-path) -- by_age is maintained in lockstep with the non-empty request list
         };
         self.last_winner = Some(winner);
         Some(winner)

@@ -257,7 +257,7 @@ impl CombiningTreeSim {
                     }
                     Phase::Release { since } => {
                         accesses[id] += 1;
-                        let node = *owned[id].last().expect("release implies owned node");
+                        let node = *owned[id].last().expect("release implies owned node"); // abs-lint: allow(panic-path) -- Release is only entered after climbing owns a node
                         flag_reqs[node].push(Request::new(id, since));
                     }
                     _ => {}
@@ -380,7 +380,7 @@ impl CombiningTreeSim {
                         _ => None,
                     })
                     .min()
-                    .expect("pending processors must have a next event");
+                    .expect("pending processors must have a next event"); // abs-lint: allow(panic-path) -- pending < n guarantees a scheduled event exists
                 now = next.max(now + 1);
             }
         }

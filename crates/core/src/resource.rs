@@ -311,7 +311,7 @@ impl ResourceSim {
                         _ => None,
                     })
                     .min()
-                    .expect("pending processors must have a next event");
+                    .expect("pending processors must have a next event"); // abs-lint: allow(panic-path) -- pending < n guarantees a scheduled event exists
                 now = next.max(now + 1);
             }
         }

@@ -110,7 +110,7 @@ impl TimeWheel {
             if t >= horizon {
                 break;
             }
-            let ids = self.far.remove(&t).expect("peeked key exists");
+            let ids = self.far.remove(&t).expect("peeked key exists"); // abs-lint: allow(panic-path) -- the key was just peeked from the same map
             for id in ids {
                 self.slots[(t % Self::SLOTS as u64) as usize].push((t, id));
             }

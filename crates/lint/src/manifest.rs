@@ -1,0 +1,267 @@
+//! The hermeticity rule: every `Cargo.toml` must keep the workspace
+//! self-contained.
+//!
+//! This generalizes (and at the workspace level subsumes) the manifest half
+//! of `tests/hermetic.rs`: every dependency entry must be a `path`-based
+//! workspace crate (or defer to `[workspace.dependencies]`, whose entries
+//! are themselves checked), no `[build-dependencies]` section may exist at
+//! all, no `build = "…"` script may be declared, and `[features]` must not
+//! pull optional externals via `dep:` names that are not declared path
+//! dependencies. The TOML subset parsed here is the same minimal slice the
+//! manifests actually use; a `#` comment starts only outside quoted
+//! strings.
+//!
+//! The escape hatch works in manifests too, as a TOML comment:
+//! `# abs-lint: allow(hermeticity) -- <justification>` on the offending
+//! line or the line above.
+
+use crate::rules::{Allow, Finding, Rule};
+
+/// Dependency sections whose entries must be path-based.
+const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "workspace.dependencies"];
+
+/// Scans one manifest. Returns surviving findings (allows applied) and the
+/// well-formed allow directives found.
+pub fn scan_manifest(rel_path: &str, text: &str) -> (Vec<Finding>, Vec<Allow>) {
+    let mut findings = Vec::new();
+    let mut allows = Vec::new();
+    let mut section = String::new();
+    let mut declared_deps: Vec<String> = Vec::new();
+
+    let finding = |line: usize, message: String| Finding {
+        rule: Rule::Hermeticity,
+        file: rel_path.to_string(),
+        line: line as u32,
+        message,
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let (code, comment) = split_toml_comment(raw);
+        if let Some(comment) = comment {
+            if let Some(allow) = parse_toml_directive(rel_path, line_no as u32, comment) {
+                match allow {
+                    Ok(a) => allows.push(a),
+                    Err(f) => findings.push(f),
+                }
+            }
+        }
+        let code = code.trim();
+        if code.is_empty() {
+            continue;
+        }
+        if code.starts_with('[') {
+            section = code.trim_matches(['[', ']']).to_string();
+            if section == "build-dependencies"
+                || (section.starts_with("target.") && section.ends_with(".build-dependencies"))
+            {
+                findings.push(finding(
+                    line_no,
+                    format!("`[{section}]` is forbidden: build scripts can reach outside the workspace"),
+                ));
+            }
+            continue;
+        }
+        let Some((key, value)) = code.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if section == "package" && key == "build" {
+            findings.push(finding(
+                line_no,
+                format!("`build = {value}` declares a build script; the hermetic build forbids them"),
+            ));
+        }
+        if DEP_SECTIONS.contains(&section.as_str()) {
+            declared_deps.push(key.trim_end_matches(".workspace").trim().to_string());
+            if !dep_is_hermetic(key, value) {
+                findings.push(finding(
+                    line_no,
+                    format!(
+                        "`{key} = {value}` is not a path-based workspace dependency; \
+                         only in-tree `path`/`workspace = true` deps are allowed"
+                    ),
+                ));
+            }
+            for banned in ["git", "registry", "version"] {
+                if spec_field(value, banned).is_some() {
+                    findings.push(finding(
+                        line_no,
+                        format!("dependency `{key}` names `{banned} = …`, which resolves outside the workspace"),
+                    ));
+                }
+            }
+        }
+        if section == "features" && value.contains("dep:") {
+            for part in value.trim_matches(['[', ']']).split(',') {
+                let part = part.trim().trim_matches('"');
+                if let Some(dep) = part.strip_prefix("dep:") {
+                    if !declared_deps.iter().any(|d| d == dep) {
+                        findings.push(finding(
+                            line_no,
+                            format!(
+                                "feature `{key}` pulls `dep:{dep}`, which is not a declared \
+                                 path dependency"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    findings.retain(|f| !allows.iter().any(|a| a.covers(f.rule, f.line)));
+    (findings, allows)
+}
+
+/// Whether one dependency entry is hermetic: an inline table with a `path`,
+/// a `workspace = true` deferral, or the `name.workspace = true` shorthand.
+fn dep_is_hermetic(key: &str, value: &str) -> bool {
+    key.ends_with(".workspace")
+        || spec_field(value, "path").is_some()
+        || spec_field(value, "workspace") == Some("true".to_string())
+}
+
+/// Extracts `field = value` from an inline table like
+/// `{ path = "crates/sim", optional = true }`; string values are unquoted.
+pub fn spec_field(spec: &str, field: &str) -> Option<String> {
+    let body = spec.trim().strip_prefix('{')?.strip_suffix('}')?;
+    for part in body.split(',') {
+        let (k, v) = part.split_once('=')?;
+        if k.trim() == field {
+            return Some(v.trim().trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// Splits a TOML line at the first `#` that sits outside a quoted string.
+fn split_toml_comment(line: &str) -> (&str, Option<&str>) {
+    let mut in_str = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..idx], Some(&line[idx..])),
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+/// Parses an allow directive out of a TOML comment, if it is one.
+fn parse_toml_directive(
+    rel_path: &str,
+    line: u32,
+    comment: &str,
+) -> Option<Result<Allow, Finding>> {
+    let body = comment.trim_start_matches('#').trim_start();
+    if !body.starts_with("abs-lint:") {
+        return None;
+    }
+    // Reuse the Rust-comment grammar by handing it the body as a line
+    // comment: same syntax, same malformed-directive diagnostics.
+    let (findings, allows) =
+        crate::rules::scan_source(rel_path, &format!("// {body}\n"), crate::rules::SourcePolicy::test_code());
+    if let Some(a) = allows.into_iter().next() {
+        return Some(Ok(Allow { line, ..a }));
+    }
+    if let Some(f) = findings.into_iter().next() {
+        return Some(Err(Finding { line, ..f }));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Finding> {
+        scan_manifest("Cargo.toml", text, ).0
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let text = "\
+[dependencies]
+abs-sim.workspace = true
+abs-net = { path = \"../net\" }
+
+[dev-dependencies]
+abs-exec = { workspace = true }
+";
+        assert!(findings(text).is_empty(), "{:?}", findings(text));
+    }
+
+    #[test]
+    fn registry_and_git_deps_are_flagged_with_lines() {
+        let text = "\
+[dependencies]
+serde = \"1.0\"
+rand = { git = \"https://github.com/rust-random/rand\" }
+";
+        let f = findings(text);
+        assert!(f.iter().any(|x| x.line == 2));
+        assert!(f.iter().any(|x| x.line == 3 && x.message.contains("git")));
+        assert!(f.iter().all(|x| x.rule == Rule::Hermeticity));
+    }
+
+    #[test]
+    fn build_dependencies_section_is_flagged_even_when_empty() {
+        let f = findings("[build-dependencies]\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("build scripts"));
+        let f = findings("[target.'cfg(unix)'.build-dependencies]\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn build_script_key_is_flagged() {
+        let f = findings("[package]\nname = \"x\"\nbuild = \"build.rs\"\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn feature_pulling_undeclared_dep_is_flagged() {
+        let text = "\
+[dependencies]
+abs-sim.workspace = true
+
+[features]
+extra = [\"dep:serde\", \"abs-sim/std\"]
+ok = [\"dep:abs-sim\"]
+";
+        let f = findings(text);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("dep:serde"));
+    }
+
+    #[test]
+    fn toml_allow_directive_suppresses() {
+        let text = "\
+[dependencies]
+# abs-lint: allow(hermeticity) -- vendored checkout, path appears at build time
+weird = \"1.0\"
+";
+        let (f, allows) = scan_manifest("Cargo.toml", text);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].line, 2);
+    }
+
+    #[test]
+    fn malformed_toml_directive_is_a_finding() {
+        let text = "# abs-lint: allow(hermeticity)\n";
+        let (f, _) = scan_manifest("Cargo.toml", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::AllowGrammar);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let (code, comment) = split_toml_comment("repo = \"https://x/#frag\" # real");
+        assert!(code.contains("#frag"));
+        assert_eq!(comment, Some("# real"));
+    }
+}

@@ -1,0 +1,513 @@
+//! A lossless, comment/string/raw-string-aware Rust tokenizer.
+//!
+//! The rule engine needs exactly one guarantee from this module: an
+//! identifier token is reported **only** when it is real code — never when
+//! the same spelling occurs inside a line comment, a (nested) block
+//! comment, a string literal, a raw string with any number of `#` guards, a
+//! byte/C string, or a char literal. Everything else about Rust's grammar
+//! is irrelevant to the lint rules, so the tokenizer stays deliberately
+//! small: it partitions the source into [`Token`]s whose concatenated
+//! `text` reproduces the input byte-for-byte (the `forall!` property in
+//! `tests/` checks this round-trip on generated nestings).
+//!
+//! The tokenizer is lenient: unterminated literals or comments extend to
+//! end-of-file instead of erroring, so the lint can still scan a file that
+//! `rustc` would reject.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` including doc comments `///` and `//!` (newline excluded).
+    LineComment,
+    /// `/* … */` including nested block comments.
+    BlockComment,
+    /// `"…"`, `b"…"`, `c"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`, `cr#"…"#`.
+    RawStr,
+    /// `'a'`, `'\n'`, `b'\x41'`, `'\u{1F600}'`.
+    Char,
+    /// `'a`, `'static` (and loop labels).
+    Lifetime,
+    /// `foo`, `HashMap`, raw identifiers `r#type`.
+    Ident,
+    /// `42`, `0xFF_u64`, `1.5e-3` (approximate; never misread as a string
+    /// or comment opener, which is all that matters here).
+    Number,
+    /// Any single other character.
+    Punct,
+}
+
+/// One token: kind, 1-based line of its first character, and its exact
+/// source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// The exact source slice.
+    pub text: String,
+}
+
+impl Token {
+    /// Whether the token participates in code (not whitespace or comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// Splits `src` into tokens whose concatenated text is exactly `src`.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => self.whitespace(),
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(0),
+                '\'' => self.char_or_lifetime(),
+                'r' => self.r_prefixed(),
+                'b' | 'c' => self.bc_prefixed(c),
+                c if is_ident_start(c) => self.ident(0),
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        debug_assert_eq!(
+            self.tokens.iter().map(|t| t.text.len()).sum::<usize>(),
+            self.src.len()
+        );
+        self.tokens
+    }
+
+    /// Pushes a token covering chars `[start, self.pos)`, starting at
+    /// `start_line`.
+    fn push(&mut self, kind: TokKind, start: usize, start_line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.tokens.push(Token {
+            kind,
+            line: start_line,
+            text,
+        });
+    }
+
+    /// Advances one char, updating the line counter.
+    fn bump(&mut self) {
+        if self.chars[self.pos] == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn whitespace(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while matches!(self.peek(0), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+        self.push(TokKind::Whitespace, start, line);
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while matches!(self.peek(0), Some(c) if c != '\n') {
+            self.bump();
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: extend to EOF
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    /// A `"…"` string whose opening quote is `prefix_len` chars after the
+    /// current position (0 for plain strings, 1 for `b"…"`/`c"…"`).
+    fn string(&mut self, prefix_len: usize) {
+        let (start, line) = (self.pos, self.line);
+        for _ in 0..=prefix_len {
+            self.bump(); // prefix chars plus the opening quote
+        }
+        loop {
+            match self.peek(0) {
+                Some('\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump(); // the escaped char, whatever it is
+                    }
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break, // unterminated
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// A raw string whose `r` sits `prefix_len` chars after the current
+    /// position (0 for `r"…"`, 1 for `br"…"`/`cr"…"`). The caller has
+    /// verified the shape (`r` + hashes + `"`).
+    fn raw_string(&mut self, prefix_len: usize) {
+        let (start, line) = (self.pos, self.line);
+        for _ in 0..=prefix_len {
+            self.bump(); // prefix chars plus the `r`
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'body: loop {
+            match self.peek(0) {
+                Some('"') => {
+                    // A close candidate: quote followed by `hashes` hashes.
+                    for ahead in 0..hashes {
+                        if self.peek(1 + ahead) != Some('#') {
+                            self.bump(); // just a quote inside the body
+                            continue 'body;
+                        }
+                    }
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break, // unterminated
+            }
+        }
+        self.push(TokKind::RawStr, start, line);
+    }
+
+    /// Whether position `at` begins a raw-string opener: `r` followed by
+    /// zero or more `#` then `"`.
+    fn raw_start_at(&self, at: usize) -> bool {
+        if self.peek(at) != Some('r') {
+            return false;
+        }
+        let mut ahead = at + 1;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    /// `r…`: raw string, raw identifier, or a plain ident starting with r.
+    fn r_prefixed(&mut self) {
+        if self.raw_start_at(0) {
+            self.raw_string(0);
+        } else if self.peek(1) == Some('#')
+            && matches!(self.peek(2), Some(c) if is_ident_start(c))
+        {
+            self.ident(2); // raw identifier r#foo
+        } else {
+            self.ident(0);
+        }
+    }
+
+    /// `b…` / `c…`: byte/C string or char literal, or a plain ident.
+    fn bc_prefixed(&mut self, first: char) {
+        match self.peek(1) {
+            Some('"') => self.string(1),
+            Some('\'') if first == 'b' => {
+                let (start, line) = (self.pos, self.line);
+                self.bump(); // b
+                self.char_literal_body();
+                self.push(TokKind::Char, start, line);
+            }
+            Some('r') if first == 'b' || first == 'c' => {
+                if self.raw_start_at(1) {
+                    self.raw_string(1);
+                } else {
+                    self.ident(0);
+                }
+            }
+            _ => self.ident(0),
+        }
+    }
+
+    /// An identifier whose first `skip` chars are already validated (the
+    /// `r#` of a raw identifier).
+    fn ident(&mut self, skip: usize) {
+        let (start, line) = (self.pos, self.line);
+        for _ in 0..skip {
+            self.bump();
+        }
+        self.bump(); // the validated start char
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+
+    fn number(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump();
+        loop {
+            match self.peek(0) {
+                // `1..10` stays a range; `1.5` consumes the dot.
+                Some('.') if matches!(self.peek(1), Some(c) if c.is_ascii_digit()) => {
+                    self.bump();
+                }
+                // Covers hex digits, `_` separators, type suffixes and the
+                // `e` of exponents; `1e-3`'s sign is left as Punct, which
+                // is harmless (nothing matches on Number/Punct content).
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => self.bump(),
+                _ => break,
+            }
+        }
+        self.push(TokKind::Number, start, line);
+    }
+
+    /// `'…`: a char literal or a lifetime/label.
+    fn char_or_lifetime(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        let next = self.peek(1);
+        let is_char = match next {
+            Some('\\') => true,
+            // `'x'` (any single non-quote char then a quote) is a char
+            // literal; otherwise `'x…` is a lifetime.
+            Some(c) if c != '\'' => self.peek(2) == Some('\''),
+            _ => false,
+        };
+        if is_char {
+            self.char_literal_body();
+            self.push(TokKind::Char, start, line);
+        } else {
+            self.bump(); // '
+            while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, start, line);
+        }
+    }
+
+    /// Consumes `'…'` from the opening quote (shared by char and byte-char
+    /// literals); the caller pushes the token.
+    fn char_literal_body(&mut self) {
+        self.bump(); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                match self.peek(0) {
+                    // `\u{…}`: consume through the closing brace.
+                    Some('u') => {
+                        self.bump();
+                        while matches!(self.peek(0), Some(c) if c != '}' && c != '\'') {
+                            self.bump();
+                        }
+                        if self.peek(0) == Some('}') {
+                            self.bump();
+                        }
+                    }
+                    // `\x41`, `\n`, `\'`, …: the escape char, then any
+                    // hex digits fall through to the closing-quote scan.
+                    Some(_) => self.bump(),
+                    None => return,
+                }
+            }
+            Some(_) => self.bump(),
+            None => return,
+        }
+        // Consume through the closing quote (tolerating `\x41`'s digits).
+        while matches!(self.peek(0), Some(c) if c != '\'') {
+            self.bump();
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    fn punct(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump();
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// The round-trip invariant: concatenated token text reproduces the input.
+pub fn round_trips(src: &str) -> bool {
+    tokenize(src).iter().map(|t| t.text.as_str()).collect::<String>() == src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    fn code_idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_in_comments_and_strings_are_not_code() {
+        let src = r####"
+            // HashMap in a line comment
+            /* HashMap /* nested HashMap */ still comment */
+            let s = "HashMap in a string \" with escaped quote HashMap";
+            let r = r#"HashMap in a raw string "quoted" here"#;
+            let b = b"HashMap bytes";
+            let real = BTreeMap::new();
+        "####;
+        let idents = code_idents(src);
+        assert!(!idents.iter().any(|i| i == "HashMap"), "{idents:?}");
+        assert!(idents.iter().any(|i| i == "BTreeMap"));
+        assert!(round_trips(src));
+    }
+
+    #[test]
+    fn raw_string_hash_guards() {
+        let src = r####"let x = r##"ends with "# not yet"##; after()"####;
+        let idents = code_idents(src);
+        assert_eq!(idents, ["let", "x", "after"]);
+        assert!(round_trips(src));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let u = '\\u{1F600}'; 'outer: loop { break 'outer; } }";
+        let toks = kinds(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, ["'x'", "'\\''", "'\\u{1F600}'"]);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'outer", "'outer"]);
+        assert!(round_trips(src));
+    }
+
+    #[test]
+    fn quotes_inside_char_literal_do_not_open_strings() {
+        let src = "let q = '\"'; real()";
+        assert_eq!(code_idents(src), ["let", "q", "real"]);
+        assert!(round_trips(src));
+    }
+
+    #[test]
+    fn byte_char_with_escape() {
+        let src = r"let b = b'\x41'; let n = b'\n'; done()";
+        assert_eq!(code_idents(src), ["let", "b", "let", "n", "done"]);
+        assert!(round_trips(src));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = r#match; also_r = 1;";
+        let idents = code_idents(src);
+        assert_eq!(idents, ["let", "r#type", "r#match", "also_r"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nacross\"\nc";
+        let toks = tokenize(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 6);
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof() {
+        for src in ["\"never closed", "/* never closed", "r#\"never closed\""] {
+            assert!(round_trips(src), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let src = "for i in 0..10 { x[1.5e3 as usize] }";
+        assert!(round_trips(src));
+        let nums: Vec<_> = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e3"]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// uses `HashMap` like this\n//! inner HashMap doc\nfn f() {}";
+        assert!(code_idents(src).iter().all(|i| i != "HashMap"));
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: violations confined to test-gated items are exempt from the
+// determinism and panic-path rules.
+pub fn library_code() -> u32 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+    }
+}

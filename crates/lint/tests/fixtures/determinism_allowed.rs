@@ -1,0 +1,9 @@
+// Fixture: the same constructs, each explicitly allowlisted.
+// abs-lint: allow(determinism) -- fixture demonstrating the escape hatch
+use std::collections::HashMap;
+
+pub fn keyed() -> usize {
+    // abs-lint: allow(determinism) -- never iterated, only point lookups
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

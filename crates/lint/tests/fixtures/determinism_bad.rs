@@ -1,0 +1,9 @@
+// Fixture: determinism violations a simulation crate must not contain.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn order_sensitive() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let started = Instant::now();
+    m.len() + started.elapsed().subsec_nanos() as usize
+}

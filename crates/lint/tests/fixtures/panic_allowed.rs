@@ -1,0 +1,14 @@
+// Fixture: panic-path opt-outs with written-down invariants.
+pub fn justified(v: Option<u32>) -> u32 {
+    // abs-lint: allow(panic-path) -- caller checked is_some() one frame up
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

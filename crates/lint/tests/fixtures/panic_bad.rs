@@ -1,0 +1,9 @@
+// Fixture: panic-path violations in library code.
+pub fn brittle(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    v.unwrap() + r.expect("always ok")
+}
+
+pub fn fine(v: Option<u32>) -> u32 {
+    // Non-panicking relatives must not be flagged.
+    v.unwrap_or(0)
+}

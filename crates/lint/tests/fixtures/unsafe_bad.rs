@@ -1,0 +1,4 @@
+// Fixture: unsafe without an adjacent SAFETY comment.
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

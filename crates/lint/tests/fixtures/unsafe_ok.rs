@@ -1,0 +1,6 @@
+// Fixture: properly audited unsafe.
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is non-null and aligned for the
+    // lifetime of this call.
+    unsafe { *p }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the lossless tokenizer, driven by the workspace's
+//! own `forall!` framework: arbitrary concatenations of tricky Rust source
+//! fragments must tokenize without loss (the tokens' text re-concatenates
+//! to the input byte-for-byte), with sane line numbers.
+
+use abs_lint::tokenizer::{round_trips, tokenize, TokKind};
+use abs_sim::check::{self, Config};
+use abs_sim::forall;
+
+/// Source fragments chosen to stress every lexer mode and the boundaries
+/// between them. Adjacent fragments may fuse into one token (`r` + `"x"`
+/// becomes a raw string) — losslessness must survive that too.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}\n",
+    "// line comment with \"quotes\" and 'ticks'\n",
+    "/* block /* nested */ still a comment */",
+    "/** doc block */\n",
+    "\"plain string with // no comment\"",
+    "\"escaped \\\" quote and \\\\ backslash\"",
+    "r\"raw string\"",
+    "r#\"raw with \" inside\"#",
+    "r##\"nested \"# hashes\"##",
+    "b\"byte string\"",
+    "br#\"raw bytes\"#",
+    "c\"c string\"",
+    "'a'",
+    "'\\n'",
+    "'\\x41'",
+    "b'\\x7f'",
+    "'lifetime",
+    "&'static str",
+    "r#match",
+    "let x = 0b1010_1111u64;",
+    "let f = 1_000.5e-3f32;",
+    "x.unwrap();\n",
+    "unsafe { *p }",
+    "#[cfg(test)]\nmod t {}\n",
+    "HashMap<K, V>",
+    "=> :: -> ..= .. . ; , # ! ?",
+    "\n\n\t  \n",
+    "r",       // bare prefix letters that may fuse with what follows
+    "b",
+    "\"",      // lone quote: unterminated-literal leniency
+    "/*",      // unterminated block comment
+    "'",
+];
+
+fn assemble(indices: &[usize]) -> String {
+    indices.iter().map(|&i| FRAGMENTS[i % FRAGMENTS.len()]).collect()
+}
+
+#[test]
+fn arbitrary_fragment_concatenations_round_trip() {
+    forall!(Config::with_cases(256), (indices in check::vec_of(check::usize_in(0..FRAGMENTS.len()), 0..24)) {
+        let src = assemble(&indices);
+        assert!(round_trips(&src), "tokenizer lost bytes on: {src:?}");
+    });
+}
+
+#[test]
+fn line_numbers_are_monotone_and_in_range() {
+    forall!(Config::with_cases(128), (indices in check::vec_of(check::usize_in(0..FRAGMENTS.len()), 1..16)) {
+        let src = assemble(&indices);
+        let total_lines = src.lines().count().max(1) as u32;
+        let mut last = 1u32;
+        for token in tokenize(&src) {
+            assert!(token.line >= last, "line went backwards in {src:?}");
+            assert!(token.line <= total_lines, "line {} > {total_lines} in {src:?}", token.line);
+            last = token.line;
+        }
+    });
+}
+
+#[test]
+fn comments_and_strings_never_leak_code_idents() {
+    // Whatever the fragments fuse into, a banned name that only ever
+    // appears inside comment/string tokens must never surface as an Ident.
+    forall!(Config::with_cases(128), (n in check::usize_in(1..8)) {
+        let src = format!(
+            "{}{}",
+            "// HashMap in comment\n\"HashMap in string\"\n".repeat(n),
+            "/* HashMap in block */"
+        );
+        let idents: Vec<_> = tokenize(&src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "HashMap")
+            .collect();
+        assert!(idents.is_empty(), "{idents:?}");
+    });
+}

@@ -144,7 +144,7 @@ impl CircuitSim {
         let n = topo.size();
         let stages = topo.stages();
         let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
-            .expect("validated hot fraction");
+            .expect("validated hot fraction"); // abs-lint: allow(panic-path) -- CircuitConfig construction validates hot_fraction
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
 
         let mut states = vec![ProcState::Idle; n];

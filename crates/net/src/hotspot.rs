@@ -89,7 +89,7 @@ impl HotspotTraffic {
     ///
     /// Panics if `modules == 0`.
     pub fn uniform(modules: usize) -> Self {
-        Self::new(modules, 0.0, 0).expect("uniform traffic requires modules > 0")
+        Self::new(modules, 0.0, 0).expect("uniform traffic requires modules > 0") // abs-lint: allow(panic-path) -- new() fails only for modules == 0, documented as a panic above
     }
 
     /// Number of memory modules.

@@ -125,14 +125,14 @@ impl MemoryModule {
                 requests
                     .iter()
                     .min_by_key(|r| r.id.wrapping_sub(base))
-                    .expect("non-empty")
+                    .expect("non-empty") // abs-lint: allow(panic-path) -- arbitrate() is only called with a non-empty request list
                     .id
             }
             Arbitration::OldestFirst => {
                 requests
                     .iter()
                     .min_by_key(|r| (r.since, r.id))
-                    .expect("non-empty")
+                    .expect("non-empty") // abs-lint: allow(panic-path) -- arbitrate() is only called with a non-empty request list
                     .id
             }
         };

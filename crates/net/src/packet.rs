@@ -248,7 +248,7 @@ impl PacketSim {
         let n = topo.size();
         let stages = topo.stages();
         let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
-            .expect("validated hot fraction");
+            .expect("validated hot fraction"); // abs-lint: allow(panic-path) -- PacketConfig construction validates hot_fraction
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
 
         // queues[s][p]: FIFO at the output port p of stage s.
@@ -326,7 +326,7 @@ impl PacketSim {
                     if let Some(src_port) = claim[want] {
                         let mut pkt = queues[s - 1][src_port]
                             .pop_front()
-                            .expect("claimed head exists");
+                            .expect("claimed head exists"); // abs-lint: allow(panic-path) -- the claim pass only records ports with occupied queues
                         pkt.hop = s;
                         queues[s][want].push_back(pkt);
                     }
@@ -457,26 +457,28 @@ impl PacketSim {
     }
 
     /// The event-driven kernel: incremental per-stage occupancy sets, an
-    /// incremental idle-processor set, and — with tracing disabled — a
-    /// skip-ahead clock for cycles where the network is empty and every
-    /// processor is backed off.
+    /// incremental idle-processor set, and a skip-ahead clock for cycles
+    /// where the network is empty and every processor is backed off.
     ///
     /// Bit-identity with the cycle stepper hinges on iteration order: the
     /// occupancy sets ([`PortSet`]) iterate ascending, reproducing the
     /// stepper's `for p in 0..n` scans exactly, so collision coin flips and
     /// injection draws consume the RNG in the same sequence. A cycle is
-    /// skippable only when it performs no RNG draw, no state change and no
-    /// trace emission: no packet anywhere (`total_packets == 0`), no
-    /// processor eligible to generate (an idle processor always draws
-    /// `next_bool`, even at rate 0), every retry in the future, and the
-    /// sink disabled. The skipped cycles' hot-queue occupancy samples are
-    /// still pushed (the queue is provably empty, so they are zeros).
+    /// skippable only when it performs no RNG draw and no state change: no
+    /// packet anywhere (`total_packets == 0`), no processor eligible to
+    /// generate (an idle processor always draws `next_bool`, even at rate
+    /// 0), and every retry in the future. The skipped cycles' hot-queue
+    /// occupancy samples are still pushed (the queue is provably empty, so
+    /// they are zeros), and with a sink attached the dead cycles' counter
+    /// rows — all-zero collisions, depths and hot-queue occupancy, in the
+    /// stepper's exact emission order — are emitted in bulk, so traces stay
+    /// byte-identical while the per-cycle port scans are still skipped.
     fn run_event_kernel<S: TraceSink>(&self, seed: u64, sink: &mut S) -> PacketOutcome {
         let topo = OmegaTopology::new(self.config.log2_size);
         let n = topo.size();
         let stages = topo.stages();
         let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
-            .expect("validated hot fraction");
+            .expect("validated hot fraction"); // abs-lint: allow(panic-path) -- PacketConfig construction validates hot_fraction
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
 
         let mut queues: Vec<Vec<VecDeque<Packet>>> =
@@ -516,15 +518,36 @@ impl PacketSim {
         while now <= total {
             // Skip-ahead: see the method docs for why this exact condition
             // makes the cycle dead.
-            if !sink.enabled() && total_packets == 0 && can_gen.is_empty() {
+            if total_packets == 0 && can_gen.is_empty() {
                 let next_retry = pending
                     .iter()
                     .flatten()
                     .map(|r| r.retry_at)
                     .min()
-                    .expect("an empty network with no idle processor has pending requests");
+                    .expect("an empty network with no idle processor has pending requests"); // abs-lint: allow(panic-path) -- this arm is reached only while requests are pending
                 if next_retry > now {
                     let target = next_retry.min(total + 1);
+                    if sink.enabled() {
+                        // A dead cycle's only observable output is its
+                        // counter rows, and they are all zero; emit them in
+                        // bulk, in the stepper's exact per-cycle order.
+                        for cycle in now..target {
+                            for s in (1..stages).rev() {
+                                if s < STAGE_COLLISIONS.len() {
+                                    sink.counter(
+                                        0,
+                                        cycle,
+                                        STAGE_COLLISIONS[s],
+                                        &[("collisions", 0.0)],
+                                    );
+                                }
+                            }
+                            for name in STAGE_DEPTH.iter().take(stages) {
+                                sink.counter(0, cycle, *name, &[("packets", 0.0)]);
+                            }
+                            sink.counter(0, cycle, "hot_queue", &[("packets", 0.0)]);
+                        }
+                    }
                     // The hot queue is empty on every skipped cycle; sample
                     // the measured ones as the stepper would.
                     let measured_from = now.max(self.config.warmup_cycles + 1);
@@ -544,7 +567,7 @@ impl PacketSim {
                     continue;
                 }
                 let queue = &mut queues[stages - 1][m];
-                let pkt = queue.pop_front().expect("occupancy bit set");
+                let pkt = queue.pop_front().expect("occupancy bit set"); // abs-lint: allow(panic-path) -- the occupancy bit is set only while the queue is non-empty
                 if queue.is_empty() {
                     occ[stages - 1].clear(m);
                 }
@@ -572,7 +595,7 @@ impl PacketSim {
                     claimed.clear();
                     occ[s - 1].collect_into(&mut active);
                     for &p in &active {
-                        let head = queues[s - 1][p].front().expect("occupancy bit set");
+                        let head = queues[s - 1][p].front().expect("occupancy bit set"); // abs-lint: allow(panic-path) -- the occupancy bit is set only while the queue is non-empty
                         let want = head.path[s];
                         if queues[s][want].len() >= self.config.queue_capacity {
                             continue;
@@ -589,9 +612,9 @@ impl PacketSim {
                         }
                     }
                     for &want in &claimed {
-                        let src_port = claim[want].take().expect("claimed port has a winner");
+                        let src_port = claim[want].take().expect("claimed port has a winner"); // abs-lint: allow(panic-path) -- claimed ports were filled in the claim pass just above
                         let queue = &mut queues[s - 1][src_port];
-                        let mut pkt = queue.pop_front().expect("claimed head exists");
+                        let mut pkt = queue.pop_front().expect("claimed head exists"); // abs-lint: allow(panic-path) -- the winner was popped from an occupied queue
                         if queue.is_empty() {
                             occ[s - 1].clear(src_port);
                         }
@@ -632,7 +655,7 @@ impl PacketSim {
                     retry_at,
                     issued,
                     retries,
-                } = pending[p].expect("pending bit set");
+                } = pending[p].expect("pending bit set"); // abs-lint: allow(panic-path) -- the pending bitmap mirrors the pending array
                 if retry_at > now {
                     continue;
                 }
@@ -683,9 +706,9 @@ impl PacketSim {
                 }
             }
             for &port in &claimed {
-                let p = claim[port].take().expect("claimed port has a winner");
+                let p = claim[port].take().expect("claimed port has a winner"); // abs-lint: allow(panic-path) -- claimed ports were filled in the claim pass just above
                 let PendingReq { dst, issued, .. } =
-                    pending[p].expect("claimed processor has a request");
+                    pending[p].expect("claimed processor has a request"); // abs-lint: allow(panic-path) -- claim winners come from the pending set
                 let path = topo.path(p, dst);
                 queues[0][port].push_back(Packet {
                     owner: p,
@@ -924,6 +947,39 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(cycle_ring.events(), event_ring.events());
         assert!(!cycle_ring.events().is_empty());
+    }
+
+    #[test]
+    fn kernels_emit_identical_traces_across_skipped_dead_time() {
+        use abs_obs::trace::Ring;
+        // The dead-time config of `kernels_bit_identical_with_skippable_
+        // dead_time`, but with a sink attached: the event kernel must emit
+        // the skipped cycles' all-zero counter rows in bulk so the traces
+        // stay byte-identical.
+        let cfg = PacketConfig {
+            hot_fraction: 0.8,
+            injection_rate: 1.0,
+            max_outstanding: 1,
+            memory_service_cycles: 4,
+            ..quick_config()
+        };
+        let sim = PacketSim::new(cfg, NetworkBackoff::ExponentialRetries { base: 4, cap: 4096 });
+        for seed in 0..2 {
+            let mut cycle_ring = Ring::new(1 << 20);
+            let mut event_ring = Ring::new(1 << 20);
+            let a = sim.run_traced_with(seed, &mut cycle_ring, Kernel::Cycle);
+            let b = sim.run_traced_with(seed, &mut event_ring, Kernel::Event);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(cycle_ring.events(), event_ring.events(), "seed {seed}");
+            // Every simulated cycle must carry its hot-queue row — skipped
+            // ones included.
+            let rows = event_ring
+                .events()
+                .iter()
+                .filter(|e| e.name == "hot_queue")
+                .count() as u64;
+            assert_eq!(rows, cfg.warmup_cycles + cfg.measure_cycles, "seed {seed}");
+        }
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl SeriesSet {
             .iter()
             .flat_map(|s| s.points().iter().map(|(x, _)| *x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN x values"));
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN x values")); // abs-lint: allow(panic-path) -- x values come from finite sweep grids, never NaN
         xs.dedup();
         xs
     }

@@ -198,7 +198,7 @@ pub fn median(values: &[f64]) -> f64 {
     if v.is_empty() {
         return 0.0;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare")); // abs-lint: allow(panic-path) -- values were filtered to finite just above
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

@@ -31,6 +31,9 @@
 //! * [`obs`] — cycle-resolved tracing and metrics: trace recorder with a
 //!   bounded ring buffer, metrics registry, Chrome trace-event export
 //!   (Perfetto-compatible), and an in-terminal ASCII timeline.
+//! * [`lint`] — hermetic static analysis enforcing the determinism,
+//!   hermeticity, panic-path, and unsafe-audit rules across the workspace
+//!   (`cargo run -p abs-lint`, or `repro lint`).
 //!
 //! # Quick start
 //!
@@ -50,6 +53,7 @@
 pub use abs_coherence as coherence;
 pub use abs_core as core;
 pub use abs_exec as exec;
+pub use abs_lint as lint;
 pub use abs_model as model;
 pub use abs_net as net;
 pub use abs_obs as obs;

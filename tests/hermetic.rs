@@ -122,8 +122,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_a_path_based_workspace_crate() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 10,
-        "expected the root and at least nine crates, found {}",
+        manifests.len() >= 11,
+        "expected the root and at least ten crates, found {}",
         manifests.len()
     );
 
@@ -183,9 +183,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
             }
         }
     }
-    // All nine library crates (including `abs-obs`) are reachable by
+    // All ten library crates (including `abs-lint`) are reachable by
     // path from the root manifest.
-    assert_eq!(seen.len(), 9, "expected 9 distinct path targets: {seen:?}");
+    assert_eq!(seen.len(), 10, "expected 10 distinct path targets: {seen:?}");
     assert!(
         seen.iter().any(|p| p.ends_with("crates/exec")),
         "abs-exec must be registered as a path dependency: {seen:?}"
@@ -193,5 +193,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
     assert!(
         seen.iter().any(|p| p.ends_with("crates/obs")),
         "abs-obs must be registered as a path dependency: {seen:?}"
+    );
+    assert!(
+        seen.iter().any(|p| p.ends_with("crates/lint")),
+        "abs-lint must be registered as a path dependency: {seen:?}"
     );
 }
