@@ -1,6 +1,7 @@
 //! Cycle stepper vs event-driven kernel wall time, per sweep point.
 //!
-//! Measures one barrier or packet episode per iteration under each kernel
+//! Measures one simulator episode (barrier, combining tree, resource,
+//! packet or circuit network) per iteration under each kernel
 //! and emits, besides the standard `bench_kernel.{json,csv}` reports, a
 //! machine-readable speedup table `repro_out/BENCH_kernel.json`
 //! (`ABS_BENCH_OUT` overrides the directory) — one row per sweep point
@@ -16,8 +17,11 @@ use std::fs;
 use std::path::PathBuf;
 
 use abs_bench::harness::Bench;
-use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim, Kernel};
-use abs_net::{NetworkBackoff, PacketConfig, PacketSim};
+use abs_core::{
+    BackoffPolicy, BarrierConfig, BarrierSim, CombiningConfig, CombiningTreeSim, Kernel,
+    ResourceConfig, ResourcePolicy, ResourceSim,
+};
+use abs_net::{CircuitConfig, CircuitSim, NetworkBackoff, PacketConfig, PacketSim};
 
 /// One benchmarked sweep point: a named episode closure per kernel.
 struct Point {
@@ -57,6 +61,55 @@ fn packet_point(name: &'static str, policy: NetworkBackoff) -> Point {
     }
 }
 
+fn combining_point(
+    name: &'static str,
+    n: usize,
+    a: u64,
+    degree: usize,
+    policy: BackoffPolicy,
+) -> Point {
+    let sim = CombiningTreeSim::new(CombiningConfig::new(n, a, degree), policy);
+    Point {
+        name,
+        run: Box::new(move |kernel| {
+            std::hint::black_box(sim.run_with(0xBE7C, kernel));
+        }),
+    }
+}
+
+fn resource_point(name: &'static str, n: usize, hold: u64, policy: ResourcePolicy) -> Point {
+    let sim = ResourceSim::new(ResourceConfig::new(n, 0, hold), policy);
+    Point {
+        name,
+        run: Box::new(move |kernel| {
+            std::hint::black_box(sim.run_with(0xBE7C, kernel));
+        }),
+    }
+}
+
+fn circuit_point(name: &'static str, policy: NetworkBackoff) -> Point {
+    // Saturated hot-spot load: the whole population is attempting or
+    // holding most cycles, which is exactly the circuit kernel's
+    // skip-ahead regime.
+    let sim = CircuitSim::new(
+        CircuitConfig {
+            log2_size: 5,
+            hold_cycles: 8,
+            request_rate: 0.95,
+            hot_fraction: 0.8,
+            warmup_cycles: 500,
+            measure_cycles: 5_000,
+        },
+        policy,
+    );
+    Point {
+        name,
+        run: Box::new(move |kernel| {
+            std::hint::black_box(sim.run_with(0xBE7C, kernel));
+        }),
+    }
+}
+
 fn main() {
     let points = vec![
         barrier_point("barrier_n64_a0_none", 64, 0, BackoffPolicy::None),
@@ -70,6 +123,33 @@ fn main() {
             cap: 4096,
         }),
         packet_point("packet_hotspot_feedback", NetworkBackoff::QueueFeedback { factor: 8 }),
+        combining_point("combining_n256_a0_d4_none", 256, 0, 4, BackoffPolicy::None),
+        combining_point(
+            "combining_n256_a20000_d4_exp8",
+            256,
+            20_000,
+            4,
+            BackoffPolicy::exponential(8),
+        ),
+        combining_point(
+            "combining_n512_a20000_d8_exp8",
+            512,
+            20_000,
+            8,
+            BackoffPolicy::exponential(8),
+        ),
+        resource_point("resource_n32_hold100_none", 32, 100, ResourcePolicy::None),
+        resource_point(
+            "resource_n32_hold100_prop",
+            32,
+            100,
+            ResourcePolicy::ProportionalWaiters { hold_estimate: 100 },
+        ),
+        circuit_point("circuit_hotspot_none", NetworkBackoff::None),
+        circuit_point(
+            "circuit_hotspot_expretries",
+            NetworkBackoff::ExponentialRetries { base: 4, cap: 4096 },
+        ),
     ];
 
     let mut bench = Bench::new("kernel");

@@ -36,7 +36,7 @@ pub fn resource(config: &ReproConfig) -> Table {
         let mut lat = OnlineStats::new();
         let mut mk = OnlineStats::new();
         for i in 0..config.reps {
-            let run = sim.run(derive_seed(config.seed, i as u64));
+            let run = sim.run_with(derive_seed(config.seed, i as u64), config.kernel);
             acc.push(run.mean_accesses());
             lat.push(run.mean_latency());
             mk.push(run.makespan() as f64);
@@ -84,8 +84,8 @@ pub fn netback(config: &ReproConfig) -> Table {
         let mut lat = OnlineStats::new();
         let mut thr = OnlineStats::new();
         let mut depth = OnlineStats::new();
-        for i in 0..config.reps.min(20) {
-            let o = sim.run(derive_seed(config.seed, i as u64));
+        for i in 0..config.reps {
+            let o = sim.run_with(derive_seed(config.seed, i as u64), config.kernel);
             attempts.push(o.avg_attempts);
             lat.push(o.avg_latency);
             thr.push(o.throughput);
@@ -120,7 +120,7 @@ pub fn netback(config: &ReproConfig) -> Table {
         let mut thr = OnlineStats::new();
         let mut lat = OnlineStats::new();
         let mut blocked = OnlineStats::new();
-        for i in 0..config.reps.min(20) {
+        for i in 0..config.reps {
             let o = sim.run_with(derive_seed(config.seed ^ 0xFEED, i as u64), config.kernel);
             thr.push(o.background_throughput);
             lat.push(o.avg_latency);
@@ -161,7 +161,7 @@ pub fn combining(config: &ReproConfig) -> Table {
     let mut acc = OnlineStats::new();
     let mut hot = OnlineStats::new();
     let mut comp = OnlineStats::new();
-    for i in 0..config.reps.min(20) {
+    for i in 0..config.reps {
         let run = flat.run_with(derive_seed(config.seed, i as u64), config.kernel);
         acc.push(run.mean_accesses());
         // Flat: two modules carry everything; the flag module carries the
@@ -186,8 +186,8 @@ pub fn combining(config: &ReproConfig) -> Table {
             let mut acc = OnlineStats::new();
             let mut hot = OnlineStats::new();
             let mut comp = OnlineStats::new();
-            for i in 0..config.reps.min(20) {
-                let run = sim.run(derive_seed(config.seed, i as u64));
+            for i in 0..config.reps {
+                let run = sim.run_with(derive_seed(config.seed, i as u64), config.kernel);
                 acc.push(run.mean_accesses());
                 hot.push(run.max_module_accesses() as f64);
                 comp.push(run.completion() as f64);

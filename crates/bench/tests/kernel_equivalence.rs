@@ -6,8 +6,13 @@
 //! The exhaustive grids cover the ISSUE's acceptance matrix; the `forall!`
 //! properties fuzz the interior of the parameter space with shrinking.
 
-use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim, Kernel};
-use abs_net::{Arbitration, NetworkBackoff, PacketConfig, PacketSim};
+use abs_core::{
+    BackoffPolicy, BarrierConfig, BarrierSim, CombiningConfig, CombiningTreeSim, Kernel,
+    ResourceConfig, ResourcePolicy, ResourceSim, SingleCounterSim,
+};
+use abs_net::{
+    Arbitration, CircuitConfig, CircuitSim, NetworkBackoff, PacketConfig, PacketSim,
+};
 use abs_obs::trace::Ring;
 use abs_sim::check::{self, Config};
 use abs_sim::forall;
@@ -154,6 +159,198 @@ fn property_packet_kernels_bit_identical() {
             max_outstanding: outstanding as u32,
         };
         let sim = PacketSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+#[test]
+fn combining_exhaustive_grid_bit_identical() {
+    // Every policy variant × every arbitration mode × tree shapes covering
+    // degree-2/4/8, a non-power-of-degree N and the degenerate N = 1.
+    for policy in barrier_policies() {
+        for arb in Arbitration::ALL {
+            for (n, a, degree) in [(48usize, 400u64, 4usize), (17, 0, 2), (256, 100, 8), (1, 10, 2)]
+            {
+                let sim = CombiningTreeSim::new(
+                    CombiningConfig::new(n, a, degree).with_arbitration(arb),
+                    policy,
+                );
+                for seed in 0..2u64 {
+                    assert_eq!(
+                        sim.run_with(seed, Kernel::Cycle),
+                        sim.run_with(seed, Kernel::Event),
+                        "{policy:?} {arb:?} N={n} A={a} d={degree} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn property_combining_kernels_bit_identical() {
+    let policies = barrier_policies();
+    forall!(Config::with_cases(64), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..8),
+        arb_ix in check::usize_in(0..3),
+        n in check::usize_in(1..97),
+        a in check::u64_in(0..=800),
+        degree in check::usize_in(2..9),
+    ) {
+        let cfg = CombiningConfig::new(n, a, degree)
+            .with_arbitration(Arbitration::ALL[arb_ix]);
+        let sim = CombiningTreeSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+/// One representative of every `ResourcePolicy` variant.
+fn resource_policies() -> [ResourcePolicy; 4] {
+    [
+        ResourcePolicy::None,
+        ResourcePolicy::Exponential { base: 2, cap: 512 },
+        ResourcePolicy::Exponential { base: 8, cap: 64 },
+        ResourcePolicy::ProportionalWaiters { hold_estimate: 20 },
+    ]
+}
+
+#[test]
+fn resource_exhaustive_grid_bit_identical() {
+    for policy in resource_policies() {
+        for arb in Arbitration::ALL {
+            for (n, a, hold) in [(16usize, 0u64, 20u64), (24, 300, 10), (1, 50, 5), (64, 0, 1)] {
+                let sim =
+                    ResourceSim::new(ResourceConfig::new(n, a, hold).with_arbitration(arb), policy);
+                for seed in 0..2u64 {
+                    assert_eq!(
+                        sim.run_with(seed, Kernel::Cycle),
+                        sim.run_with(seed, Kernel::Event),
+                        "{policy:?} {arb:?} N={n} A={a} hold={hold} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn property_resource_kernels_bit_identical() {
+    let policies = resource_policies();
+    forall!(Config::with_cases(64), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..4),
+        arb_ix in check::usize_in(0..3),
+        n in check::usize_in(1..65),
+        a in check::u64_in(0..=500),
+        hold in check::u64_in(1..=40),
+    ) {
+        let cfg = ResourceConfig::new(n, a, hold).with_arbitration(Arbitration::ALL[arb_ix]);
+        let sim = ResourceSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+#[test]
+fn single_counter_exhaustive_grid_bit_identical() {
+    for policy in barrier_policies() {
+        for arb in Arbitration::ALL {
+            for (n, a) in [(48usize, 400u64), (64, 0), (1, 10), (512, 100)] {
+                let sim =
+                    SingleCounterSim::new(BarrierConfig::new(n, a).with_arbitration(arb), policy);
+                for seed in 0..2u64 {
+                    assert_eq!(
+                        sim.run_with(seed, Kernel::Cycle),
+                        sim.run_with(seed, Kernel::Event),
+                        "{policy:?} {arb:?} N={n} A={a} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn property_single_counter_kernels_bit_identical() {
+    let policies = barrier_policies();
+    forall!(Config::with_cases(64), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..8),
+        arb_ix in check::usize_in(0..3),
+        n in check::usize_in(1..129),
+        a in check::u64_in(0..=1000),
+    ) {
+        let cfg = BarrierConfig::new(n, a).with_arbitration(Arbitration::ALL[arb_ix]);
+        let sim = SingleCounterSim::new(cfg, policies[policy_ix]);
+        assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
+    });
+}
+
+#[test]
+fn circuit_exhaustive_policies_bit_identical() {
+    let configs = [
+        // Moderate hot-spot load.
+        CircuitConfig {
+            log2_size: 4,
+            hold_cycles: 4,
+            request_rate: 0.4,
+            hot_fraction: 0.3,
+            warmup_cycles: 300,
+            measure_cycles: 3_000,
+        },
+        // Saturated: the event kernel's skip-ahead regime.
+        CircuitConfig {
+            log2_size: 4,
+            hold_cycles: 8,
+            request_rate: 0.95,
+            hot_fraction: 0.8,
+            warmup_cycles: 300,
+            measure_cycles: 3_000,
+        },
+        // Tiny network, light load.
+        CircuitConfig {
+            log2_size: 1,
+            hold_cycles: 2,
+            request_rate: 0.05,
+            hot_fraction: 0.0,
+            warmup_cycles: 300,
+            measure_cycles: 3_000,
+        },
+    ];
+    for policy in packet_policies() {
+        for cfg in configs {
+            let sim = CircuitSim::new(cfg, policy);
+            for seed in 0..3u64 {
+                assert_eq!(
+                    sim.run_with(seed, Kernel::Cycle),
+                    sim.run_with(seed, Kernel::Event),
+                    "{policy:?} {cfg:?} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn property_circuit_kernels_bit_identical() {
+    let policies = packet_policies();
+    forall!(Config::with_cases(48), (
+        seed in check::any_u64(),
+        policy_ix in check::usize_in(0..6),
+        log2_size in check::usize_in(1..5),
+        rate in check::f64_in(0.0..1.0),
+        hot in check::f64_in(0.0..0.9),
+        hold in check::u64_in(1..=10),
+    ) {
+        let cfg = CircuitConfig {
+            log2_size: log2_size as u32,
+            hold_cycles: hold,
+            request_rate: rate,
+            hot_fraction: hot,
+            warmup_cycles: 100,
+            measure_cycles: 1_500,
+        };
+        let sim = CircuitSim::new(cfg, policies[policy_ix]);
         assert_eq!(sim.run_with(seed, Kernel::Cycle), sim.run_with(seed, Kernel::Event));
     });
 }

@@ -34,9 +34,7 @@
 //! (`var_queue` / `flag_queue`) are therefore only defined on cycles where
 //! a request set is non-empty; skipped dead cycles are never sampled.
 
-use std::collections::BTreeSet;
-
-use abs_net::module::{Arbitration, MemoryModule, Request};
+use abs_net::module::{Arbitration, MemoryModule, PendingSet, Request};
 use abs_obs::trace::{Noop, TraceSink};
 use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
@@ -754,102 +752,6 @@ fn collect_run(n: usize, procs: &[Proc], flag_set_at: Option<u64>) -> BarrierRun
         completion,
         accesses,
         waiting,
-    }
-}
-
-/// One memory module's pending-request set for the event kernel.
-///
-/// The id-sorted vector *is* the request snapshot the cycle stepper would
-/// hand to [`MemoryModule::arbitrate`], so random arbitration indexes into
-/// the identical slice with the identical draw. The winner is picked
-/// without scanning the set: random in O(1), round-robin by binary
-/// searching the rotating base, oldest-first through a `(since, id)`
-/// ordered index that is maintained only under that policy (the other
-/// modes never pay for it).
-struct PendingSet {
-    policy: Arbitration,
-    requests: Vec<Request>,
-    /// Rotating round-robin priority; mirrors the module's last winner.
-    last_winner: Option<usize>,
-    /// `(since, id)` ordered view; maintained only under `OldestFirst`.
-    by_age: BTreeSet<(u64, usize)>,
-}
-
-impl PendingSet {
-    fn new(policy: Arbitration, capacity: usize) -> Self {
-        Self {
-            policy,
-            requests: Vec::with_capacity(capacity),
-            last_winner: None,
-            by_age: BTreeSet::new(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.requests.len()
-    }
-
-    fn is_empty(&self) -> bool {
-        self.requests.is_empty()
-    }
-
-    fn insert(&mut self, req: Request) {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&req.id))
-            .expect_err("processor already pending");
-        self.requests.insert(at, req);
-        if self.policy == Arbitration::OldestFirst {
-            self.by_age.insert((req.since, req.id));
-        }
-    }
-
-    /// Removes and returns processor `id`'s request.
-    fn remove(&mut self, id: usize) -> Request {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
-        let req = self.requests.remove(at);
-        if self.policy == Arbitration::OldestFirst {
-            self.by_age.remove(&(req.since, req.id));
-        }
-        req
-    }
-
-    /// Re-ages processor `id`'s pending request to `since`.
-    fn refresh(&mut self, id: usize, since: u64) {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
-        let old = std::mem::replace(&mut self.requests[at].since, since);
-        if self.policy == Arbitration::OldestFirst {
-            self.by_age.remove(&(old, id));
-            self.by_age.insert((since, id));
-        }
-    }
-
-    /// Picks this cycle's winner exactly as [`MemoryModule::arbitrate`]
-    /// would on the same snapshot: the same single RNG draw (random policy,
-    /// non-empty set only) and the same tie-breaks.
-    fn arbitrate(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<usize> {
-        if self.requests.is_empty() {
-            return None;
-        }
-        let winner = match self.policy {
-            Arbitration::Random => self.requests[rng.next_below_usize(self.requests.len())].id,
-            Arbitration::RoundRobin => {
-                // Smallest id at-or-above the rotating base, wrapping to
-                // the smallest id overall.
-                let base = self.last_winner.map_or(0, |w| w + 1);
-                let at = self.requests.partition_point(|r| r.id < base);
-                self.requests[if at < self.requests.len() { at } else { 0 }].id
-            }
-            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1, // abs-lint: allow(panic-path) -- by_age is maintained in lockstep with the non-empty request list
-        };
-        self.last_winner = Some(winner);
-        Some(winner)
     }
 }
 

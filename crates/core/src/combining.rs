@@ -14,11 +14,28 @@
 //! the parent; the root's last arriver sets the root flag, and each climber,
 //! once released from above, sets the flag of the node it climbed from,
 //! releasing its siblings — release propagates down the tree.
+//!
+//! # Kernels
+//!
+//! Like [`BarrierSim`](crate::barrier::BarrierSim), the simulator ships two
+//! bit-identical kernels selected by [`Kernel`]: the reference cycle
+//! stepper, which rescans all `N` processors and all nodes every cycle, and
+//! the event-driven skip-ahead kernel, which keeps one
+//! [`PendingSet`] per node module, tracks the set of *active* nodes (any
+//! pending request) in an ordered index, parks dormant processors in a
+//! [`TimeWheel`](crate::wheel::TimeWheel), and jumps the clock over dead
+//! cycles. Presented-access charges — including the per-module counters
+//! behind [`CombiningRun::max_module_accesses`] — are applied in bulk when
+//! a request leaves its set.
 
-use abs_net::module::{Arbitration, MemoryModule, Request};
+use std::collections::BTreeSet;
+
+use abs_net::module::{Arbitration, MemoryModule, PendingSet, Request};
+use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 
 use crate::policy::BackoffPolicy;
+use crate::wheel::TimeWheel;
 
 /// Static parameters of a combining-tree barrier episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,10 +46,12 @@ pub struct CombiningConfig {
     pub span: u64,
     /// Fan-in of each tree node (`>= 2`).
     pub degree: usize,
+    /// Arbitration policy of every node's pair of memory modules.
+    pub arbitration: Arbitration,
 }
 
 impl CombiningConfig {
-    /// Creates a configuration.
+    /// Creates a configuration with the paper's default random arbitration.
     ///
     /// # Panics
     ///
@@ -40,11 +59,23 @@ impl CombiningConfig {
     pub fn new(n: usize, span: u64, degree: usize) -> Self {
         assert!(n > 0, "at least one processor required");
         assert!(degree >= 2, "tree degree must be at least 2");
-        Self { n, span, degree }
+        Self {
+            n,
+            span,
+            degree,
+            arbitration: Arbitration::Random,
+        }
+    }
+
+    /// Returns a copy using the given arbitration policy.
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
     }
 }
 
-/// A node of the combining tree.
+/// A node of the combining tree: topology and barrier state. The memory
+/// modules backing a node live with the kernel that simulates them.
 #[derive(Debug, Clone)]
 struct Node {
     /// Parent node index, `None` for the root.
@@ -56,8 +87,6 @@ struct Node {
     count: usize,
     /// Whether the release flag is set.
     flag: bool,
-    var_module: MemoryModule,
-    flag_module: MemoryModule,
 }
 
 /// Builds the node list for `n` processors with the given fan-in. Returns
@@ -68,8 +97,6 @@ fn build_tree(n: usize, degree: usize) -> (Vec<Node>, Vec<usize>) {
         expected,
         count: 0,
         flag: false,
-        var_module: MemoryModule::new(Arbitration::Random),
-        flag_module: MemoryModule::new(Arbitration::Random),
     };
     let mut nodes: Vec<Node> = Vec::new();
     // Leaf level: group processors.
@@ -101,7 +128,7 @@ fn build_tree(n: usize, degree: usize) -> (Vec<Node>, Vec<usize>) {
     (nodes, leaf_of)
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     NotArrived,
     VarReq { node: usize, since: u64 },
@@ -160,6 +187,29 @@ impl CombiningRun {
     }
 }
 
+/// Builds the episode result from the final per-processor state (shared by
+/// both kernels, so the field derivations cannot drift apart).
+fn collect_run(
+    accesses: Vec<u64>,
+    done_at: &[u64],
+    arrivals: &[u64],
+    max_module_accesses: u64,
+    nodes: usize,
+) -> CombiningRun {
+    let waiting: Vec<u64> = done_at
+        .iter()
+        .zip(arrivals)
+        .map(|(&d, &a)| d - a)
+        .collect();
+    CombiningRun {
+        accesses,
+        waiting,
+        completion: done_at.iter().copied().max().unwrap_or(0),
+        max_module_accesses,
+        nodes,
+    }
+}
+
 /// Simulator of a combining-tree barrier under a backoff policy.
 ///
 /// # Examples
@@ -194,12 +244,38 @@ impl CombiningTreeSim {
         self.policy
     }
 
-    /// Simulates one episode.
+    /// Simulates one episode on the default (event-driven) kernel.
     pub fn run(&self, seed: u64) -> CombiningRun {
+        self.run_with(seed, Kernel::default())
+    }
+
+    /// Simulates one episode on the given kernel.
+    ///
+    /// `Kernel::Cycle` is the reference oracle; `Kernel::Event` is
+    /// bit-identical and much faster (the equivalence suite in `abs-bench`
+    /// asserts the identity).
+    pub fn run_with(&self, seed: u64, kernel: Kernel) -> CombiningRun {
+        match kernel {
+            Kernel::Cycle => self.run_cycle_kernel(seed),
+            Kernel::Event => self.run_event_kernel(seed),
+        }
+    }
+
+    /// The reference cycle stepper: every simulated cycle rescans all `N`
+    /// processors and restages every node's request lists.
+    fn run_cycle_kernel(&self, seed: u64) -> CombiningRun {
         let n = self.config.n;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
         let (mut nodes, leaf_of) = build_tree(n, self.config.degree);
+        let mut var_modules: Vec<MemoryModule> = nodes
+            .iter()
+            .map(|_| MemoryModule::new(self.config.arbitration))
+            .collect();
+        let mut flag_modules: Vec<MemoryModule> = nodes
+            .iter()
+            .map(|_| MemoryModule::new(self.config.arbitration))
+            .collect();
 
         let mut phases: Vec<Phase> = vec![Phase::NotArrived; n];
         let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -216,7 +292,7 @@ impl CombiningTreeSim {
         while done < n {
             // Activate arrivals and expired waits.
             for (id, phase) in phases.iter_mut().enumerate() {
-                match phase.clone() {
+                match *phase {
                     Phase::NotArrived if arrivals[id] <= now => {
                         *phase = Phase::VarReq {
                             node: leaf_of[id],
@@ -267,10 +343,7 @@ impl CombiningTreeSim {
             // Arbitrate each node independently (they live in distinct
             // modules).
             for v in 0..nodes.len() {
-                if let Some(winner) = {
-                    let node = &mut nodes[v];
-                    node.var_module.arbitrate(&var_reqs[v], &mut rng)
-                } {
+                if let Some(winner) = var_modules[v].arbitrate(&var_reqs[v], &mut rng) {
                     nodes[v].count += 1;
                     let i = nodes[v].count;
                     let expected = nodes[v].expected;
@@ -305,11 +378,8 @@ impl CombiningTreeSim {
                     }
                 }
 
-                if let Some(winner) = {
-                    let node = &mut nodes[v];
-                    node.flag_module.arbitrate(&flag_reqs[v], &mut rng)
-                } {
-                    match phases[winner].clone() {
+                if let Some(winner) = flag_modules[v].arbitrate(&flag_reqs[v], &mut rng) {
+                    match phases[winner] {
                         Phase::Release { .. } => {
                             nodes[v].flag = true;
                             owned[winner].pop();
@@ -385,19 +455,304 @@ impl CombiningTreeSim {
             }
         }
 
-        let max_module_accesses = nodes
+        let max_module_accesses = var_modules
             .iter()
-            .flat_map(|nd| [nd.var_module.presented(), nd.flag_module.presented()])
+            .chain(flag_modules.iter())
+            .map(|m| m.presented())
             .max()
             .unwrap_or(0);
-        let waiting: Vec<u64> = (0..n).map(|i| done_at[i] - arrivals[i]).collect();
-        CombiningRun {
+        collect_run(
             accesses,
-            waiting,
-            completion: done_at.iter().copied().max().unwrap_or(0),
+            &done_at,
+            &arrivals,
             max_module_accesses,
-            nodes: nodes.len(),
+            nodes.len(),
+        )
+    }
+
+    /// The event-driven skip-ahead kernel.
+    ///
+    /// Per-node [`PendingSet`]s replace the per-cycle staging scan, an
+    /// ordered *active-node* index replaces the all-nodes arbitration loop,
+    /// and dormant processors (future arrivals, `VarWait`/`FlagWait`
+    /// expiries) park in a [`TimeWheel`]. Per busy cycle the work is
+    /// O(active nodes + events), not O(N + nodes).
+    ///
+    /// Bit-identity with the cycle stepper rests on the same three
+    /// invariants as the barrier kernel (same busy cycles, same RNG draw
+    /// order, same transitions), plus one tree-specific refinement: the
+    /// cycle stepper stages all requests *before* arbitrating any node, so
+    /// this kernel arbitrates every active node on the cycle's snapshots
+    /// first (ascending node id, variable before flag — empty sets draw
+    /// nothing) and only then applies the winners' transitions, whose
+    /// inserted requests become pending at `now + 1`. Presented-access
+    /// charges — both the per-processor counts and the per-module hot-spot
+    /// counters — are applied wholesale when a request leaves its set; a
+    /// zero-delay poll miss re-ages the request in place without breaking
+    /// the charge interval.
+    fn run_event_kernel(&self, seed: u64) -> CombiningRun {
+        let n = self.config.n;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let arrivals = rng.uniform_arrivals(n, self.config.span);
+        let (mut nodes, leaf_of) = build_tree(n, self.config.degree);
+
+        let mut var_pending: Vec<PendingSet> = nodes
+            .iter()
+            .map(|nd| PendingSet::new(self.config.arbitration, nd.expected))
+            .collect();
+        let mut flag_pending: Vec<PendingSet> = nodes
+            .iter()
+            .map(|nd| PendingSet::new(self.config.arbitration, nd.expected))
+            .collect();
+        // Bulk presented counters, mirroring each cycle-kernel module.
+        let mut var_presented = vec![0u64; nodes.len()];
+        let mut flag_presented = vec![0u64; nodes.len()];
+        // Nodes with at least one pending request, ascending — exactly the
+        // nodes whose arbitration could draw this cycle.
+        let mut active: BTreeSet<usize> = BTreeSet::new();
+
+        let mut phases: Vec<Phase> = vec![Phase::NotArrived; n];
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut accesses = vec![0u64; n];
+        let mut done_at = vec![0u64; n];
+        // First cycle the processor's current request has been charged
+        // from. Unlike `Request::since`, never re-aged by a zero-delay poll
+        // miss: the request stays pending across the miss, so its charge
+        // interval runs unbroken from the original enqueue.
+        let mut charge_from = vec![0u64; n];
+
+        let mut now = arrivals[0];
+        let mut done = 0usize;
+        let mut wheel = TimeWheel::new(now);
+        for (id, &arrival) in arrivals.iter().enumerate() {
+            wheel.schedule(arrival, id);
         }
+        let mut due: Vec<usize> = Vec::new();
+        let mut winners: Vec<(usize, Option<usize>, Option<usize>)> = Vec::new();
+
+        while done < n {
+            // Activate arrivals and expired waits due this cycle, in id
+            // order.
+            wheel.pop_due(now, &mut due);
+            for &id in &due {
+                match phases[id] {
+                    Phase::NotArrived => {
+                        let node = leaf_of[id];
+                        phases[id] = Phase::VarReq { node, since: now };
+                        var_pending[node].insert(Request::new(id, now));
+                        charge_from[id] = now;
+                        active.insert(node);
+                    }
+                    Phase::VarWait { node, until } => {
+                        debug_assert!(until <= now);
+                        phases[id] = Phase::FlagPoll {
+                            node,
+                            since: now,
+                            polls: 0,
+                        };
+                        flag_pending[node].insert(Request::new(id, now));
+                        charge_from[id] = now;
+                        active.insert(node);
+                    }
+                    Phase::FlagWait { node, until, polls } => {
+                        debug_assert!(until <= now);
+                        phases[id] = Phase::FlagPoll {
+                            node,
+                            since: now,
+                            polls,
+                        };
+                        flag_pending[node].insert(Request::new(id, now));
+                        charge_from[id] = now;
+                        active.insert(node);
+                    }
+                    _ => unreachable!("only dormant processors sleep in the wheel"),
+                }
+            }
+
+            debug_assert!(!active.is_empty(), "processed a dead cycle at {now}");
+
+            // Arbitrate every active node on this cycle's snapshots before
+            // applying any transition: ascending node id, variable before
+            // flag, matching the cycle stepper's draw order (its staged
+            // lists are fixed before its arbitration loop runs, so later
+            // nodes never see earlier winners' transitions).
+            winners.clear();
+            for &v in active.iter() {
+                let var_winner = var_pending[v].arbitrate(&mut rng);
+                let flag_winner = flag_pending[v].arbitrate(&mut rng);
+                winners.push((v, var_winner, flag_winner));
+            }
+
+            // Apply the winners' transitions in the same node order.
+            for &(v, var_winner, flag_winner) in &winners {
+                if let Some(winner) = var_winner {
+                    var_pending[v].remove(winner);
+                    // Presented on every cycle since enqueue, served or
+                    // denied — charged to the processor and to the node's
+                    // variable module alike.
+                    let span = now - charge_from[winner] + 1;
+                    accesses[winner] += span;
+                    var_presented[v] += span;
+                    nodes[v].count += 1;
+                    let i = nodes[v].count;
+                    let expected = nodes[v].expected;
+                    if i == expected {
+                        owned[winner].push(v);
+                        match nodes[v].parent {
+                            Some(parent) => {
+                                phases[winner] = Phase::VarReq {
+                                    node: parent,
+                                    since: now + 1,
+                                };
+                                var_pending[parent].insert(Request::new(winner, now + 1));
+                                charge_from[winner] = now + 1;
+                                active.insert(parent);
+                            }
+                            None => {
+                                // Root winner: release downwards.
+                                phases[winner] = Phase::Release { since: now + 1 };
+                                let target = v;
+                                debug_assert_eq!(owned[winner].last(), Some(&target));
+                                flag_pending[target].insert(Request::new(winner, now + 1));
+                                charge_from[winner] = now + 1;
+                                active.insert(target);
+                            }
+                        }
+                    } else {
+                        let wait = self.policy.variable_wait(expected, i);
+                        if wait == 0 {
+                            phases[winner] = Phase::FlagPoll {
+                                node: v,
+                                since: now + 1,
+                                polls: 0,
+                            };
+                            flag_pending[v].insert(Request::new(winner, now + 1));
+                            charge_from[winner] = now + 1;
+                        } else {
+                            phases[winner] = Phase::VarWait {
+                                node: v,
+                                until: now + 1 + wait,
+                            };
+                            wheel.schedule(now + 1 + wait, winner);
+                        }
+                    }
+                }
+
+                if let Some(winner) = flag_winner {
+                    match phases[winner] {
+                        Phase::Release { .. } => {
+                            flag_pending[v].remove(winner);
+                            let span = now - charge_from[winner] + 1;
+                            accesses[winner] += span;
+                            flag_presented[v] += span;
+                            nodes[v].flag = true;
+                            owned[winner].pop();
+                            if owned[winner].is_empty() {
+                                phases[winner] = Phase::Done;
+                                done_at[winner] = now;
+                                done += 1;
+                            } else {
+                                phases[winner] = Phase::Release { since: now + 1 };
+                                let target = *owned[winner]
+                                    .last()
+                                    .expect("non-empty just checked"); // abs-lint: allow(panic-path) -- the is_empty branch above rules this out
+                                flag_pending[target].insert(Request::new(winner, now + 1));
+                                charge_from[winner] = now + 1;
+                                active.insert(target);
+                            }
+                        }
+                        Phase::FlagPoll { node, polls, .. } => {
+                            debug_assert_eq!(node, v);
+                            if nodes[v].flag {
+                                flag_pending[v].remove(winner);
+                                let span = now - charge_from[winner] + 1;
+                                accesses[winner] += span;
+                                flag_presented[v] += span;
+                                // Released: propagate down whatever we own.
+                                if owned[winner].is_empty() {
+                                    phases[winner] = Phase::Done;
+                                    done_at[winner] = now;
+                                    done += 1;
+                                } else {
+                                    phases[winner] = Phase::Release { since: now + 1 };
+                                    let target = *owned[winner]
+                                        .last()
+                                        .expect("non-empty just checked"); // abs-lint: allow(panic-path) -- the is_empty branch above rules this out
+                                    flag_pending[target].insert(Request::new(winner, now + 1));
+                                    charge_from[winner] = now + 1;
+                                    active.insert(target);
+                                }
+                            } else {
+                                let polls = polls + 1;
+                                match self.policy.flag_delay(polls) {
+                                    Some(0) | None => {
+                                        // Still pending next cycle; only the
+                                        // request age changes (oldest-first
+                                        // arbitration reads it). The charge
+                                        // interval keeps running — no
+                                        // removal. The queue variant
+                                        // degenerates to continuous polling
+                                        // inside a tree node; parking is a
+                                        // flat-barrier concept.
+                                        phases[winner] = Phase::FlagPoll {
+                                            node: v,
+                                            since: now + 1,
+                                            polls,
+                                        };
+                                        flag_pending[v].refresh(winner, now + 1);
+                                    }
+                                    Some(d) => {
+                                        flag_pending[v].remove(winner);
+                                        let span = now - charge_from[winner] + 1;
+                                        accesses[winner] += span;
+                                        flag_presented[v] += span;
+                                        phases[winner] = Phase::FlagWait {
+                                            node: v,
+                                            until: now + 1 + d,
+                                            polls,
+                                        };
+                                        wheel.schedule(now + 1 + d, winner);
+                                    }
+                                }
+                            }
+                        }
+                        _ => unreachable!("only pollers and releasers are served"),
+                    }
+                }
+
+                // Later winners in this cycle may still re-activate `v`
+                // (a release or climb inserting at `now + 1` calls
+                // `active.insert` again), so deactivating eagerly is safe.
+                if var_pending[v].is_empty() && flag_pending[v].is_empty() {
+                    active.remove(&v);
+                }
+            }
+
+            // Advance time: one cycle while any node has a pending request,
+            // else jump to the next wake-up.
+            if !active.is_empty() {
+                now += 1;
+            } else if done < n {
+                let next = wheel
+                    .peek_min()
+                    .expect("pending processors must have a next event"); // abs-lint: allow(panic-path) -- done < n guarantees a scheduled event exists
+                now = next.max(now + 1);
+            }
+        }
+
+        let max_module_accesses = var_presented
+            .iter()
+            .chain(flag_presented.iter())
+            .copied()
+            .max()
+            .unwrap_or(0);
+        collect_run(
+            accesses,
+            &done_at,
+            &arrivals,
+            max_module_accesses,
+            nodes.len(),
+        )
     }
 }
 
@@ -450,6 +805,56 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = CombiningTreeSim::new(CombiningConfig::new(32, 100, 4), BackoffPolicy::None);
         assert_eq!(sim.run(2), sim.run(2));
+    }
+
+    #[test]
+    fn kernels_bit_identical() {
+        // The event kernel must reproduce the cycle stepper exactly across
+        // every policy / arbitration / shape mix; the broad sweep lives in
+        // the `kernel_equivalence` suite, this is the in-crate smoke
+        // version.
+        let policies = [
+            BackoffPolicy::None,
+            BackoffPolicy::exponential(2),
+            BackoffPolicy::Linear { step: 10 },
+            BackoffPolicy::on_variable(),
+            BackoffPolicy::QueueOnThreshold {
+                base: 2,
+                threshold: 64,
+                wake_cost: 100,
+            },
+        ];
+        for policy in policies {
+            for arb in Arbitration::ALL {
+                for (n, span, degree) in [(48usize, 400u64, 4usize), (17, 0, 2), (1, 10, 2)] {
+                    let cfg = CombiningConfig::new(n, span, degree).with_arbitration(arb);
+                    let sim = CombiningTreeSim::new(cfg, policy);
+                    for seed in 0..3 {
+                        assert_eq!(
+                            sim.run_with(seed, Kernel::Cycle),
+                            sim.run_with(seed, Kernel::Event),
+                            "policy {policy:?} arbitration {arb:?} n {n} seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_with_skippable_dead_time() {
+        // Wide arrival spans plus aggressive backoff produce long stretches
+        // with no pending request — the regime the skip-ahead clock
+        // actually exercises.
+        let cfg = CombiningConfig::new(32, 20_000, 4);
+        let sim = CombiningTreeSim::new(cfg, BackoffPolicy::exponential(8));
+        for seed in 0..4 {
+            assert_eq!(
+                sim.run_with(seed, Kernel::Cycle),
+                sim.run_with(seed, Kernel::Event),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

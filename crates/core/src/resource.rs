@@ -13,9 +13,17 @@
 //! acquire the resource in some order, hold it for a fixed time, and release
 //! it — the release itself is a module write that contends with the pollers,
 //! just like the barrier-flag write.
+//!
+//! Two bit-identical kernels drive an episode (selected by [`Kernel`]): the
+//! reference cycle stepper and the event-driven skip-ahead kernel built on
+//! a shared [`PendingSet`] and [`TimeWheel`](crate::wheel::TimeWheel) —
+//! see [`ResourceSim::run_with`].
 
-use abs_net::module::{Arbitration, MemoryModule, Request};
+use abs_net::module::{Arbitration, MemoryModule, PendingSet, Request};
+use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
+
+use crate::wheel::TimeWheel;
 
 /// Backoff policy while the resource is observed held.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -86,10 +94,12 @@ pub struct ResourceConfig {
     pub span: u64,
     /// Cycles each acquirer holds the resource.
     pub hold_time: u64,
+    /// Arbitration policy of the resource's memory module.
+    pub arbitration: Arbitration,
 }
 
 impl ResourceConfig {
-    /// Creates a configuration.
+    /// Creates a configuration with the paper's default random arbitration.
     ///
     /// # Panics
     ///
@@ -97,7 +107,18 @@ impl ResourceConfig {
     pub fn new(n: usize, span: u64, hold_time: u64) -> Self {
         assert!(n > 0, "at least one processor required");
         assert!(hold_time > 0, "hold time must be positive");
-        Self { n, span, hold_time }
+        Self {
+            n,
+            span,
+            hold_time,
+            arbitration: Arbitration::Random,
+        }
+    }
+
+    /// Returns a copy using the given arbitration policy.
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
     }
 }
 
@@ -184,8 +205,26 @@ impl ResourceSim {
         self.policy
     }
 
-    /// Simulates one episode.
+    /// Simulates one episode on the default (event-driven) kernel.
     pub fn run(&self, seed: u64) -> ResourceRun {
+        self.run_with(seed, Kernel::default())
+    }
+
+    /// Simulates one episode on the given kernel.
+    ///
+    /// `Kernel::Cycle` is the reference oracle; `Kernel::Event` is
+    /// bit-identical and much faster (the equivalence suite in `abs-bench`
+    /// asserts the identity).
+    pub fn run_with(&self, seed: u64, kernel: Kernel) -> ResourceRun {
+        match kernel {
+            Kernel::Cycle => self.run_cycle_kernel(seed),
+            Kernel::Event => self.run_event_kernel(seed),
+        }
+    }
+
+    /// The reference cycle stepper: every simulated cycle rescans all `N`
+    /// processors to activate arrivals/expiries and collect requests.
+    fn run_cycle_kernel(&self, seed: u64) -> ResourceRun {
         let n = self.config.n;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
@@ -194,7 +233,7 @@ impl ResourceSim {
         let mut accesses = vec![0u64; n];
         let mut acquired_at = vec![0u64; n];
         let mut tickets: Vec<Option<usize>> = vec![None; n];
-        let mut module = MemoryModule::new(Arbitration::Random);
+        let mut module = MemoryModule::new(self.config.arbitration);
 
         let mut now = arrivals[0];
         let mut held = false;
@@ -323,6 +362,173 @@ impl ResourceSim {
             makespan,
         }
     }
+
+    /// The event-driven skip-ahead kernel.
+    ///
+    /// One [`PendingSet`] holds the pollers and the releaser; future events
+    /// (arrivals, backoff expiries, hold completions) park in a
+    /// [`TimeWheel`]; dead cycles are jumped. Presented-access charges are
+    /// applied in bulk when a request leaves the set, with a zero-delay
+    /// poll miss re-aging the request in place so its charge interval runs
+    /// unbroken.
+    ///
+    /// The cycle stepper's per-cycle `waiters` cohort scan is replaced by a
+    /// count maintained at phase transitions: processors enter the cohort
+    /// on arrival and leave it on acquisition (`Polling <-> Waiting` moves
+    /// stay inside it), so the count at serve time equals the scan's.
+    fn run_event_kernel(&self, seed: u64) -> ResourceRun {
+        let n = self.config.n;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let arrivals = rng.uniform_arrivals(n, self.config.span);
+
+        let mut phases = vec![Phase::NotArrived; n];
+        let mut accesses = vec![0u64; n];
+        let mut acquired_at = vec![0u64; n];
+        let mut tickets: Vec<Option<usize>> = vec![None; n];
+        let mut pending = PendingSet::new(self.config.arbitration, n);
+        // First cycle the processor's current request has been charged
+        // from; never re-aged by a zero-delay poll miss (see above).
+        let mut charge_from = vec![0u64; n];
+        // Processors in `Polling` or `Waiting` — the cycle stepper's
+        // `waiters` scan, maintained incrementally.
+        let mut waiting_cohort = 0usize;
+
+        let mut now = arrivals[0];
+        let mut held = false;
+        let mut done = 0usize;
+        let mut next_ticket = 0usize;
+        let mut completed = 0usize;
+        let mut makespan = 0u64;
+        let mut wheel = TimeWheel::new(now);
+        for (id, &arrival) in arrivals.iter().enumerate() {
+            wheel.schedule(arrival, id);
+        }
+        let mut due: Vec<usize> = Vec::new();
+
+        while done < n {
+            // Activate arrivals, expired backoffs and completed holds due
+            // this cycle, in id order.
+            wheel.pop_due(now, &mut due);
+            for &id in &due {
+                match phases[id] {
+                    Phase::NotArrived => {
+                        phases[id] = Phase::Polling {
+                            since: now,
+                            retries: 0,
+                        };
+                        pending.insert(Request::new(id, now));
+                        charge_from[id] = now;
+                        waiting_cohort += 1;
+                    }
+                    Phase::Waiting { until, retries } => {
+                        debug_assert!(until <= now);
+                        phases[id] = Phase::Polling {
+                            since: now,
+                            retries,
+                        };
+                        pending.insert(Request::new(id, now));
+                        charge_from[id] = now;
+                    }
+                    Phase::Holding { until } => {
+                        debug_assert!(until <= now);
+                        phases[id] = Phase::Releasing { since: now };
+                        pending.insert(Request::new(id, now));
+                        charge_from[id] = now;
+                    }
+                    _ => unreachable!("only dormant processors sleep in the wheel"),
+                }
+            }
+
+            debug_assert!(!pending.is_empty(), "processed a dead cycle at {now}");
+
+            if let Some(winner) = pending.arbitrate(&mut rng) {
+                match phases[winner] {
+                    Phase::Releasing { .. } => {
+                        pending.remove(winner);
+                        // Presented on every cycle since enqueue, served or
+                        // denied.
+                        accesses[winner] += now - charge_from[winner] + 1;
+                        held = false;
+                        completed += 1;
+                        phases[winner] = Phase::Done;
+                        makespan = makespan.max(now);
+                        done += 1;
+                    }
+                    Phase::Polling { retries, .. } => {
+                        // The first served access doubles as the
+                        // fetch-and-add on the ticket counter.
+                        let ticket = *tickets[winner].get_or_insert_with(|| {
+                            let t = next_ticket;
+                            next_ticket += 1;
+                            t
+                        });
+                        if !held {
+                            pending.remove(winner);
+                            accesses[winner] += now - charge_from[winner] + 1;
+                            held = true;
+                            acquired_at[winner] = now;
+                            waiting_cohort -= 1;
+                            phases[winner] = Phase::Holding {
+                                until: now + self.config.hold_time,
+                            };
+                            wheel.schedule(now + self.config.hold_time, winner);
+                        } else {
+                            let retries = retries + 1;
+                            // The queue ahead of this processor: holders
+                            // with smaller tickets not yet released
+                            // (ProportionalWaiters), or simply the other
+                            // waiters (the coarse count).
+                            let ahead = match self.policy {
+                                ResourcePolicy::ProportionalWaiters { .. } => {
+                                    ticket.saturating_sub(completed)
+                                }
+                                _ => waiting_cohort.saturating_sub(1),
+                            };
+                            let delay = self.policy.delay(retries, ahead);
+                            if delay == 0 {
+                                // Still pending next cycle; only the request
+                                // age changes (oldest-first arbitration
+                                // reads it). The charge interval keeps
+                                // running — no removal.
+                                phases[winner] = Phase::Polling {
+                                    since: now + 1,
+                                    retries,
+                                };
+                                pending.refresh(winner, now + 1);
+                            } else {
+                                pending.remove(winner);
+                                accesses[winner] += now - charge_from[winner] + 1;
+                                phases[winner] = Phase::Waiting {
+                                    until: now + 1 + delay,
+                                    retries,
+                                };
+                                wheel.schedule(now + 1 + delay, winner);
+                            }
+                        }
+                    }
+                    _ => unreachable!("only pollers and releasers request the module"),
+                }
+            }
+
+            // Advance time: one cycle while anything is pending, else jump
+            // to the next wake-up.
+            if !pending.is_empty() {
+                now += 1;
+            } else if done < n {
+                let next = wheel
+                    .peek_min()
+                    .expect("pending processors must have a next event"); // abs-lint: allow(panic-path) -- done < n guarantees a scheduled event exists
+                now = next.max(now + 1);
+            }
+        }
+
+        let latency: Vec<u64> = (0..n).map(|i| acquired_at[i] - arrivals[i]).collect();
+        ResourceRun {
+            accesses,
+            latency,
+            makespan,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +553,51 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = ResourceSim::new(ResourceConfig::new(8, 50, 10), ResourcePolicy::None);
         assert_eq!(sim.run(4), sim.run(4));
+    }
+
+    #[test]
+    fn kernels_bit_identical() {
+        // The event kernel must reproduce the cycle stepper exactly across
+        // every policy / arbitration mix; the broad sweep lives in the
+        // `kernel_equivalence` suite, this is the in-crate smoke version.
+        let policies = [
+            ResourcePolicy::None,
+            ResourcePolicy::Exponential { base: 2, cap: 512 },
+            ResourcePolicy::ProportionalWaiters { hold_estimate: 20 },
+        ];
+        for policy in policies {
+            for arb in Arbitration::ALL {
+                for (n, span, hold) in [(16usize, 0u64, 20u64), (24, 300, 10), (1, 50, 5)] {
+                    let cfg = ResourceConfig::new(n, span, hold).with_arbitration(arb);
+                    let sim = ResourceSim::new(cfg, policy);
+                    for seed in 0..3 {
+                        assert_eq!(
+                            sim.run_with(seed, Kernel::Cycle),
+                            sim.run_with(seed, Kernel::Event),
+                            "policy {policy:?} arbitration {arb:?} n {n} seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_bit_identical_with_skippable_dead_time() {
+        // Long holds under proportional backoff leave the module idle for
+        // most of the episode — the regime the skip-ahead clock exercises.
+        let cfg = ResourceConfig::new(32, 10_000, 100);
+        let sim = ResourceSim::new(
+            cfg,
+            ResourcePolicy::ProportionalWaiters { hold_estimate: 100 },
+        );
+        for seed in 0..4 {
+            assert_eq!(
+                sim.run_with(seed, Kernel::Cycle),
+                sim.run_with(seed, Kernel::Event),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -1,244 +1,9 @@
-//! A bucketed time wheel for the event-driven barrier kernel.
+//! Re-export of the bucketed time wheel.
 //!
-//! The skip-ahead kernel needs three operations on the set of future
-//! wake-ups (processor arrivals and `Waiting { until }` expiries):
-//!
-//! * schedule a wake-up at an absolute cycle,
-//! * pop everything due at the current cycle (in ascending processor-id
-//!   order, matching the cycle stepper's id-ordered activation scan), and
-//! * peek the earliest pending wake-up so the clock can jump over dead
-//!   cycles.
-//!
-//! A classic hashed timing wheel covers the common case: wake-ups landing
-//! within the next [`TimeWheel::SLOTS`] cycles go into the slot
-//! `time % SLOTS`, so scheduling and popping are O(1) amortized.
-//! Exponential backoff also produces *far* wake-ups (delays grow as
-//! `base^k`, unbounded for the paper's uncapped curves), which overflow
-//! into a sorted map keyed by absolute time and migrate into the wheel as
-//! the clock approaches them. The structure never inspects more than the
-//! due slot per cycle on the hot path; the O(SLOTS) scan happens only on
-//! [`TimeWheel::peek_min`], which the kernel calls exactly when nothing is
-//! runnable (i.e. when it is about to skip cycles anyway).
+//! The wheel originally lived here, private to the barrier's event kernel.
+//! When the skip-ahead migration reached `CircuitSim` (which lives in
+//! `abs-net`, a crate *below* this one in the dependency graph) the
+//! implementation moved to [`abs_sim::wheel`] so every kernel can share it;
+//! this module keeps the historical `abs_core::wheel::TimeWheel` path alive.
 
-use std::collections::BTreeMap;
-
-/// A future wake-up: `(due cycle, processor id)`.
-type Entry = (u64, usize);
-
-/// A bucketed time wheel over absolute simulation cycles.
-///
-/// # Examples
-///
-/// ```
-/// use abs_core::wheel::TimeWheel;
-///
-/// let mut wheel = TimeWheel::new(0);
-/// wheel.schedule(5, 1);
-/// wheel.schedule(5, 0);
-/// wheel.schedule(1_000_000, 2); // far future: overflows, still correct
-/// assert_eq!(wheel.peek_min(), Some(5));
-/// let mut due = Vec::new();
-/// wheel.pop_due(5, &mut due);
-/// assert_eq!(due, vec![0, 1]); // ascending id order
-/// assert_eq!(wheel.peek_min(), Some(1_000_000));
-/// ```
-#[derive(Debug, Clone)]
-pub struct TimeWheel {
-    /// `slots[t % SLOTS]` holds near wake-ups due at cycle `t`.
-    slots: Vec<Vec<Entry>>,
-    /// Wake-ups at or beyond `horizon`, keyed by due cycle.
-    far: BTreeMap<u64, Vec<usize>>,
-    /// Slots cover due cycles in `[now, horizon)`; `horizon = now + SLOTS`.
-    now: u64,
-    /// Total scheduled wake-ups not yet popped.
-    len: usize,
-}
-
-impl TimeWheel {
-    /// Number of near slots; wake-ups within this many cycles of `now` are
-    /// O(1) to schedule and pop. Must be a power of two.
-    pub const SLOTS: usize = 256;
-
-    /// Creates a wheel whose clock starts at `now`.
-    pub fn new(now: u64) -> Self {
-        Self {
-            slots: vec![Vec::new(); Self::SLOTS],
-            far: BTreeMap::new(),
-            now,
-            len: 0,
-        }
-    }
-
-    /// Scheduled wake-ups not yet popped.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Whether no wake-up is pending.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Schedules a wake-up for processor `id` at absolute cycle `time`.
-    ///
-    /// `time` may not precede the wheel's current cycle (a wake-up in the
-    /// past could never be popped).
-    pub fn schedule(&mut self, time: u64, id: usize) {
-        debug_assert!(time >= self.now, "wake-up at {time} scheduled in the past of {}", self.now);
-        self.len += 1;
-        if time - self.now < Self::SLOTS as u64 {
-            self.slots[(time % Self::SLOTS as u64) as usize].push((time, id));
-        } else {
-            self.far.entry(time).or_default().push(id);
-        }
-    }
-
-    /// Advances the clock to `now` and appends every wake-up due at or
-    /// before `now` to `due`, sorted by processor id.
-    ///
-    /// The kernel advances the clock either by one cycle or by jumping to
-    /// [`peek_min`](Self::peek_min), so in practice every popped wake-up is
-    /// due *exactly* at `now`; the `<=` is defensive.
-    pub fn pop_due(&mut self, now: u64, due: &mut Vec<usize>) {
-        due.clear();
-        debug_assert!(now >= self.now, "clock moved backwards");
-        // Migrate far wake-ups that entered the slot horizon. Jumps land on
-        // the earliest pending wake-up, so a jump across the horizon moves
-        // exactly the entries that are now near.
-        let horizon = now.saturating_add(Self::SLOTS as u64);
-        while let Some((&t, _)) = self.far.first_key_value() {
-            if t >= horizon {
-                break;
-            }
-            let ids = self.far.remove(&t).expect("peeked key exists"); // abs-lint: allow(panic-path) -- the key was just peeked from the same map
-            for id in ids {
-                self.slots[(t % Self::SLOTS as u64) as usize].push((t, id));
-            }
-        }
-        self.now = now;
-        let slot = &mut self.slots[(now % Self::SLOTS as u64) as usize];
-        let mut i = 0;
-        while i < slot.len() {
-            if slot[i].0 <= now {
-                debug_assert_eq!(slot[i].0, now, "due wake-up skipped over");
-                due.push(slot.swap_remove(i).1);
-            } else {
-                i += 1;
-            }
-        }
-        self.len -= due.len();
-        due.sort_unstable();
-    }
-
-    /// The earliest pending wake-up cycle, or `None` when empty.
-    ///
-    /// Called only when the kernel has nothing runnable and is about to
-    /// jump the clock. Costs O(jump distance), not O(entries): every near
-    /// entry's due time is in `[now, now + SLOTS)` (dues at `now` are
-    /// popped before the clock moves, and jumps land on the minimum, so
-    /// nothing is ever left behind the clock), which means a slot holds at
-    /// most one distinct due time — two times with the same residue would
-    /// be `SLOTS` apart. Walking the slots in time order from `now` thus
-    /// returns the minimum at the first non-empty slot; the far map only
-    /// holds times at or beyond the horizon, so it cannot undercut a near
-    /// hit.
-    pub fn peek_min(&self) -> Option<u64> {
-        for offset in 0..Self::SLOTS as u64 {
-            let t = self.now + offset;
-            let slot = &self.slots[(t % Self::SLOTS as u64) as usize];
-            if let Some(&(slot_t, _)) = slot.first() {
-                debug_assert_eq!(slot_t, t, "slot holds a second due time");
-                return Some(slot_t);
-            }
-        }
-        self.far.first_key_value().map(|(&t, _)| t)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn pop(wheel: &mut TimeWheel, now: u64) -> Vec<usize> {
-        let mut due = Vec::new();
-        wheel.pop_due(now, &mut due);
-        due
-    }
-
-    #[test]
-    fn empty_wheel() {
-        let wheel = TimeWheel::new(7);
-        assert!(wheel.is_empty());
-        assert_eq!(wheel.peek_min(), None);
-    }
-
-    #[test]
-    fn pops_in_id_order() {
-        let mut wheel = TimeWheel::new(0);
-        for id in [5usize, 1, 9, 0] {
-            wheel.schedule(3, id);
-        }
-        assert_eq!(wheel.len(), 4);
-        assert_eq!(pop(&mut wheel, 2), Vec::<usize>::new());
-        assert_eq!(pop(&mut wheel, 3), vec![0, 1, 5, 9]);
-        assert!(wheel.is_empty());
-    }
-
-    #[test]
-    fn near_and_far_interleave() {
-        let mut wheel = TimeWheel::new(0);
-        wheel.schedule(2, 0);
-        wheel.schedule(2 + TimeWheel::SLOTS as u64, 1); // beyond horizon
-        wheel.schedule(1 << 40, 2); // far future
-        assert_eq!(wheel.peek_min(), Some(2));
-        assert_eq!(pop(&mut wheel, 2), vec![0]);
-        assert_eq!(wheel.peek_min(), Some(2 + TimeWheel::SLOTS as u64));
-        // Jump straight to the migrated far entry.
-        assert_eq!(pop(&mut wheel, 2 + TimeWheel::SLOTS as u64), vec![1]);
-        assert_eq!(wheel.peek_min(), Some(1 << 40));
-        assert_eq!(pop(&mut wheel, 1 << 40), vec![2]);
-        assert!(wheel.is_empty());
-    }
-
-    #[test]
-    fn same_slot_different_times_do_not_collide() {
-        // Two near times that alias to the same slot index must pop at
-        // their own cycles.
-        let mut wheel = TimeWheel::new(0);
-        wheel.schedule(1, 0);
-        // After popping cycle 1 the horizon moves; schedule the aliasing
-        // time then (1 + SLOTS aliases slot 1).
-        assert_eq!(pop(&mut wheel, 1), vec![0]);
-        wheel.schedule(1 + TimeWheel::SLOTS as u64, 1);
-        wheel.schedule(2, 2);
-        assert_eq!(pop(&mut wheel, 2), vec![2]);
-        assert_eq!(wheel.peek_min(), Some(1 + TimeWheel::SLOTS as u64));
-        assert_eq!(pop(&mut wheel, 1 + TimeWheel::SLOTS as u64), vec![1]);
-    }
-
-    #[test]
-    fn cycle_by_cycle_advance_matches_jump() {
-        let mut a = TimeWheel::new(0);
-        let mut b = TimeWheel::new(0);
-        for (t, id) in [(3u64, 0usize), (300, 1), (301, 2), (900, 3)] {
-            a.schedule(t, id);
-            b.schedule(t, id);
-        }
-        // a: advance one cycle at a time; b: jump via peek_min.
-        let mut seen_a: Vec<(u64, Vec<usize>)> = Vec::new();
-        let mut due = Vec::new();
-        for now in 0..=900 {
-            a.pop_due(now, &mut due);
-            if !due.is_empty() {
-                seen_a.push((now, due.clone()));
-            }
-        }
-        let mut seen_b: Vec<(u64, Vec<usize>)> = Vec::new();
-        while let Some(t) = b.peek_min() {
-            b.pop_due(t, &mut due);
-            seen_b.push((t, due.clone()));
-        }
-        assert_eq!(seen_a, seen_b);
-        assert_eq!(seen_b.len(), 4);
-    }
-}
+pub use abs_sim::wheel::TimeWheel;

@@ -15,9 +15,27 @@
 //! network supplied status byte can be used to determine the stage at which
 //! the collision occurred") and consults a [`NetworkBackoff`] policy for how
 //! long to wait before retrying.
+//!
+//! # Kernels
+//!
+//! Two bit-identical implementations drive a run (selected by [`Kernel`]):
+//! the reference cycle stepper, which rescans all `N` processors every
+//! cycle for expiring holds and due retries, and the event-driven
+//! skip-ahead kernel, which parks each outstanding request's next event
+//! (hold completion, retry expiry) in a [`TimeWheel`] and keeps the idle
+//! processors in a sorted set. Unlike the closed-population simulators,
+//! the clock can only skip while **no processor is idle**: an idle
+//! processor draws a Bernoulli issue trial every single cycle, so dead
+//! cycles exist exactly when the whole population is attempting or holding
+//! — the saturated regime where the cycle stepper is at its slowest.
+//! Contention resolution (the per-cycle shuffle of simultaneous attempts)
+//! draws only over the *due* attempts, so a cycle with no due attempt
+//! costs no draw in either kernel.
 
+use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 use abs_sim::stats::OnlineStats;
+use abs_sim::wheel::TimeWheel;
 
 use crate::backoff::{CollisionInfo, NetworkBackoff};
 use crate::hotspot::HotspotTraffic;
@@ -89,6 +107,31 @@ enum ProcState {
     Holding { issued: u64, until: u64 },
 }
 
+/// Measurement-window accumulators, shared by both kernels.
+#[derive(Debug, Default)]
+struct Measure {
+    completed: u64,
+    attempts: u64,
+    collisions: u64,
+    latency: OnlineStats,
+    attempt_per_req: OnlineStats,
+    depth_stats: OnlineStats,
+}
+
+impl Measure {
+    fn outcome(&self, measure_cycles: u64) -> CircuitOutcome {
+        CircuitOutcome {
+            completed: self.completed,
+            attempts: self.attempts,
+            collisions: self.collisions,
+            avg_latency: self.latency.mean(),
+            avg_attempts: self.attempt_per_req.mean(),
+            throughput: self.completed as f64 / measure_cycles as f64,
+            avg_collision_depth: self.depth_stats.mean(),
+        }
+    }
+}
+
 /// The circuit-switched network simulator.
 ///
 /// # Examples
@@ -137,12 +180,130 @@ impl CircuitSim {
         self.policy
     }
 
-    /// Runs the simulation with the given seed and returns aggregate
-    /// statistics over the measurement window.
+    /// Runs the simulation with the given seed on the default
+    /// (event-driven) kernel and returns aggregate statistics over the
+    /// measurement window.
     pub fn run(&self, seed: u64) -> CircuitOutcome {
-        let topo = OmegaTopology::new(self.config.log2_size);
+        self.run_with(seed, Kernel::default())
+    }
+
+    /// Runs the simulation on the given kernel.
+    ///
+    /// `Kernel::Cycle` is the reference oracle; `Kernel::Event` is
+    /// bit-identical and faster whenever the network saturates (the
+    /// equivalence suite in `abs-bench` asserts the identity).
+    pub fn run_with(&self, seed: u64, kernel: Kernel) -> CircuitOutcome {
+        match kernel {
+            Kernel::Cycle => self.run_cycle_kernel(seed),
+            Kernel::Event => self.run_event_kernel(seed),
+        }
+    }
+
+    /// Releases processor `p`'s held circuit at `now`: frees the path's
+    /// ports and records the completion if measuring.
+    #[allow(clippy::too_many_arguments)]
+    fn release(
+        p: usize,
+        now: u64,
+        measuring: bool,
+        n: usize,
+        states: &mut [ProcState],
+        held_paths: &mut [Option<Vec<usize>>],
+        occupied: &mut [u64],
+        measure: &mut Measure,
+    ) {
+        let ProcState::Holding { issued, .. } = states[p] else {
+            unreachable!("release of a non-holding processor")
+        };
+        if let Some(path) = held_paths[p].take() {
+            for (s, port) in path.iter().enumerate() {
+                occupied[s * n + port] = 0;
+            }
+        }
+        if measuring {
+            measure.completed += 1;
+            measure.latency.push((now - issued) as f64);
+        }
+        states[p] = ProcState::Idle;
+    }
+
+    /// One establishment attempt by processor `p` at `now`. Returns the
+    /// cycle of `p`'s next event: the hold expiry on success, the retry
+    /// time after a collision.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        p: usize,
+        now: u64,
+        measuring: bool,
+        topo: &OmegaTopology,
+        states: &mut [ProcState],
+        held_paths: &mut [Option<Vec<usize>>],
+        occupied: &mut [u64],
+        measure: &mut Measure,
+    ) -> u64 {
         let n = topo.size();
         let stages = topo.stages();
+        let ProcState::Attempting {
+            issued,
+            retry_at,
+            retries,
+            dst,
+        } = states[p]
+        else {
+            unreachable!("attempt by a non-attempting processor")
+        };
+        debug_assert!(retry_at <= now);
+        let path = topo.path(p, dst);
+        if measuring {
+            measure.attempts += 1;
+        }
+        let conflict = path
+            .iter()
+            .enumerate()
+            .position(|(s, port)| occupied[s * n + port] > now);
+        match conflict {
+            None => {
+                let until = now + self.config.hold_cycles;
+                for (s, port) in path.iter().enumerate() {
+                    occupied[s * n + port] = until;
+                }
+                held_paths[p] = Some(path);
+                if measuring {
+                    measure.attempt_per_req.push((retries + 1) as f64);
+                }
+                states[p] = ProcState::Holding { issued, until };
+                until
+            }
+            Some(stage) => {
+                if measuring {
+                    measure.collisions += 1;
+                    measure.depth_stats.push((stage + 1) as f64);
+                }
+                let info = CollisionInfo {
+                    depth: stage + 1,
+                    stages,
+                    retries: retries + 1,
+                    queue_len: 0,
+                };
+                let delay = self.policy.delay(info);
+                let retry_at = now + 1 + delay;
+                states[p] = ProcState::Attempting {
+                    issued,
+                    retry_at,
+                    retries: retries + 1,
+                    dst,
+                };
+                retry_at
+            }
+        }
+    }
+
+    /// The reference cycle stepper: every simulated cycle scans all `N`
+    /// processors for expiring holds, issue trials and due retries.
+    fn run_cycle_kernel(&self, seed: u64) -> CircuitOutcome {
+        let topo = OmegaTopology::new(self.config.log2_size);
+        let n = topo.size();
         let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
             .expect("validated hot fraction"); // abs-lint: allow(panic-path) -- CircuitConfig construction validates hot_fraction
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
@@ -150,43 +311,36 @@ impl CircuitSim {
         let mut states = vec![ProcState::Idle; n];
         // occupied[stage * n + port] = cycle until which the port is held
         // (exclusive); 0 = free.
-        let mut occupied: Vec<u64> = vec![0; stages * n];
+        let mut occupied: Vec<u64> = vec![0; topo.stages() * n];
         // Paths of circuits being held, for release.
         let mut held_paths: Vec<Option<Vec<usize>>> = vec![None; n];
 
         let total = self.config.warmup_cycles + self.config.measure_cycles;
-        let mut completed = 0u64;
-        let mut attempts = 0u64;
-        let mut collisions = 0u64;
-        let mut latency = OnlineStats::new();
-        let mut attempt_per_req = OnlineStats::new();
-        let mut depth_stats = OnlineStats::new();
-
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut measure = Measure::default();
+        let mut due: Vec<usize> = Vec::with_capacity(n);
 
         for now in 1..=total {
             let measuring = now > self.config.warmup_cycles;
 
-            // 1. Complete circuits whose hold expires.
-            #[allow(clippy::needless_range_loop)]
+            // 1. Complete circuits whose hold expires, in id order.
             for p in 0..n {
-                if let ProcState::Holding { issued, until } = states[p] {
+                if let ProcState::Holding { until, .. } = states[p] {
                     if until <= now {
-                        if let Some(path) = held_paths[p].take() {
-                            for (s, port) in path.iter().enumerate() {
-                                occupied[s * n + port] = 0;
-                            }
-                        }
-                        if measuring {
-                            completed += 1;
-                            latency.push((now - issued) as f64);
-                        }
-                        states[p] = ProcState::Idle;
+                        Self::release(
+                            p,
+                            now,
+                            measuring,
+                            n,
+                            &mut states,
+                            &mut held_paths,
+                            &mut occupied,
+                            &mut measure,
+                        );
                     }
                 }
             }
 
-            // 2. Idle processors may issue new requests.
+            // 2. Idle processors may issue new requests, in id order.
             for state in states.iter_mut() {
                 if *state == ProcState::Idle && rng.next_bool(self.config.request_rate) {
                     *state = ProcState::Attempting {
@@ -199,73 +353,155 @@ impl CircuitSim {
             }
 
             // 3. Due attempts try to establish circuits in random priority
-            //    order.
-            rng.shuffle(&mut order);
-            for &p in &order {
-                let ProcState::Attempting {
-                    issued,
-                    retry_at,
-                    retries,
-                    dst,
-                } = states[p]
-                else {
-                    continue;
-                };
-                if retry_at > now {
-                    continue;
-                }
-                let path = topo.path(p, dst);
-                if measuring {
-                    attempts += 1;
-                }
-                let conflict = path
-                    .iter()
-                    .enumerate()
-                    .position(|(s, port)| occupied[s * n + port] > now);
-                match conflict {
-                    None => {
-                        let until = now + self.config.hold_cycles;
-                        for (s, port) in path.iter().enumerate() {
-                            occupied[s * n + port] = until;
-                        }
-                        held_paths[p] = Some(path);
-                        if measuring {
-                            attempt_per_req.push((retries + 1) as f64);
-                        }
-                        states[p] = ProcState::Holding { issued, until };
-                    }
-                    Some(stage) => {
-                        if measuring {
-                            collisions += 1;
-                            depth_stats.push((stage + 1) as f64);
-                        }
-                        let info = CollisionInfo {
-                            depth: stage + 1,
-                            stages,
-                            retries: retries + 1,
-                            queue_len: 0,
-                        };
-                        let delay = self.policy.delay(info);
-                        states[p] = ProcState::Attempting {
-                            issued,
-                            retry_at: now + 1 + delay,
-                            retries: retries + 1,
-                            dst,
-                        };
+            //    order (the shuffle draws only over the due attempts, so an
+            //    attempt-free cycle costs no draw).
+            due.clear();
+            for p in 0..n {
+                if let ProcState::Attempting { retry_at, .. } = states[p] {
+                    if retry_at <= now {
+                        due.push(p);
                     }
                 }
             }
+            rng.shuffle(&mut due);
+            for &p in &due {
+                self.attempt(
+                    p,
+                    now,
+                    measuring,
+                    &topo,
+                    &mut states,
+                    &mut held_paths,
+                    &mut occupied,
+                    &mut measure,
+                );
+            }
         }
 
-        CircuitOutcome {
-            completed,
-            attempts,
-            collisions,
-            avg_latency: latency.mean(),
-            avg_attempts: attempt_per_req.mean(),
-            throughput: completed as f64 / self.config.measure_cycles as f64,
-            avg_collision_depth: depth_stats.mean(),
+        measure.outcome(self.config.measure_cycles)
+    }
+
+    /// The event-driven skip-ahead kernel.
+    ///
+    /// Each non-idle processor has exactly one future event — the hold
+    /// expiry of an established circuit or the retry time of a collided
+    /// request — parked in a [`TimeWheel`]; idle processors sit in a
+    /// sorted vector that is scanned for Bernoulli issue trials each
+    /// cycle. Bit-identity with the cycle stepper holds because per cycle
+    /// the draw order is the same (issue trials in ascending id over
+    /// exactly the idle processors, one shuffle over exactly the due
+    /// attempts, attempts in the shuffled order), releases fire in
+    /// ascending id exactly at their expiry, and the clock only skips
+    /// cycles in which the cycle stepper would have drawn nothing and
+    /// changed nothing: no idle processor and no due event.
+    fn run_event_kernel(&self, seed: u64) -> CircuitOutcome {
+        let topo = OmegaTopology::new(self.config.log2_size);
+        let n = topo.size();
+        let traffic = HotspotTraffic::new(n, self.config.hot_fraction, 0)
+            .expect("validated hot fraction"); // abs-lint: allow(panic-path) -- CircuitConfig construction validates hot_fraction
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+
+        let mut states = vec![ProcState::Idle; n];
+        let mut occupied: Vec<u64> = vec![0; topo.stages() * n];
+        let mut held_paths: Vec<Option<Vec<usize>>> = vec![None; n];
+
+        let total = self.config.warmup_cycles + self.config.measure_cycles;
+        let mut measure = Measure::default();
+
+        let mut wheel = TimeWheel::new(1);
+        // Idle processors, ascending — the issue-trial scan order.
+        let mut idle: Vec<usize> = (0..n).collect();
+        let mut events: Vec<usize> = Vec::new();
+        let mut due: Vec<usize> = Vec::with_capacity(n);
+
+        let mut now = 1u64;
+        while now <= total {
+            let measuring = now > self.config.warmup_cycles;
+
+            // 1. Events due this cycle, in id order: hold expiries release
+            //    (and the processor rejoins the idle set in time for this
+            //    cycle's issue trials, as in the cycle stepper); due
+            //    retries queue for the attempt round.
+            wheel.pop_due(now, &mut events);
+            due.clear();
+            for &p in &events {
+                match states[p] {
+                    ProcState::Holding { .. } => {
+                        Self::release(
+                            p,
+                            now,
+                            measuring,
+                            n,
+                            &mut states,
+                            &mut held_paths,
+                            &mut occupied,
+                            &mut measure,
+                        );
+                        let at = idle.binary_search(&p).unwrap_err(); // abs-lint: allow(panic-path) -- a holding processor cannot already be idle
+                        idle.insert(at, p);
+                    }
+                    ProcState::Attempting { .. } => due.push(p),
+                    ProcState::Idle => unreachable!("idle processors have no scheduled event"),
+                }
+            }
+
+            // 2. Idle processors may issue new requests, in id order. A new
+            //    issue is due immediately: merge it into the (id-sorted)
+            //    due list, which stays sorted because `idle` is scanned
+            //    ascending and merge positions only grow.
+            let mut kept = 0;
+            for i in 0..idle.len() {
+                let p = idle[i];
+                if rng.next_bool(self.config.request_rate) {
+                    states[p] = ProcState::Attempting {
+                        issued: now,
+                        retry_at: now,
+                        retries: 0,
+                        dst: traffic.destination(&mut rng),
+                    };
+                    let at = due.binary_search(&p).unwrap_err(); // abs-lint: allow(panic-path) -- an idle processor has no due retry
+                    due.insert(at, p);
+                } else {
+                    idle[kept] = p;
+                    kept += 1;
+                }
+            }
+            idle.truncate(kept);
+
+            // 3. Due attempts in random priority order — the identical
+            //    shuffle over the identical due list as the cycle stepper.
+            rng.shuffle(&mut due);
+            for &p in &due {
+                let next_event = self.attempt(
+                    p,
+                    now,
+                    measuring,
+                    &topo,
+                    &mut states,
+                    &mut held_paths,
+                    &mut occupied,
+                    &mut measure,
+                );
+                wheel.schedule(next_event, p);
+            }
+
+            // 4. Advance: any idle processor draws an issue trial every
+            //    cycle, so the clock may only skip when the whole
+            //    population is attempting or holding — then nothing can
+            //    happen before the next scheduled event.
+            if idle.is_empty() {
+                match wheel.peek_min() {
+                    Some(next) => now = next.max(now + 1),
+                    // No idle processor and no event: nothing can ever
+                    // happen again inside the window.
+                    None => break,
+                }
+            } else {
+                now += 1;
+            }
         }
+
+        measure.outcome(self.config.measure_cycles)
     }
 }
 
@@ -288,6 +524,46 @@ mod tests {
     fn deterministic_for_seed() {
         let sim = CircuitSim::new(quick_config(), NetworkBackoff::None);
         assert_eq!(sim.run(5), sim.run(5));
+    }
+
+    #[test]
+    fn kernels_bit_identical() {
+        // The event kernel must reproduce the cycle stepper exactly across
+        // policies and load regimes; the broad sweep lives in the
+        // `kernel_equivalence` suite, this is the in-crate smoke version.
+        let policies = [
+            NetworkBackoff::None,
+            NetworkBackoff::ConstantRtt { rtt: 4 },
+            NetworkBackoff::ExponentialRetries { base: 2, cap: 256 },
+            NetworkBackoff::DepthProportional { factor: 3 },
+        ];
+        let configs = [
+            quick_config(),
+            // Saturated hot-spot: the skip-ahead regime.
+            CircuitConfig {
+                request_rate: 0.9,
+                hot_fraction: 0.8,
+                ..quick_config()
+            },
+            // Light load on a tiny network.
+            CircuitConfig {
+                log2_size: 1,
+                request_rate: 0.05,
+                ..quick_config()
+            },
+        ];
+        for policy in policies {
+            for cfg in configs {
+                let sim = CircuitSim::new(cfg, policy);
+                for seed in 0..3 {
+                    assert_eq!(
+                        sim.run_with(seed, Kernel::Cycle),
+                        sim.run_with(seed, Kernel::Event),
+                        "policy {policy:?} cfg {cfg:?} seed {seed}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -348,9 +624,11 @@ mod tests {
             request_rate: 0.0,
             ..quick_config()
         };
-        let o = CircuitSim::new(cfg, NetworkBackoff::None).run(7);
-        assert_eq!(o.completed, 0);
-        assert_eq!(o.attempts, 0);
+        for kernel in Kernel::ALL {
+            let o = CircuitSim::new(cfg, NetworkBackoff::None).run_with(7, kernel);
+            assert_eq!(o.completed, 0);
+            assert_eq!(o.attempts, 0);
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! is therefore the default. Round-robin and oldest-first are provided for
 //! the ablation study.
 
+use std::collections::BTreeSet;
+
 use abs_sim::rng::Xoshiro256PlusPlus;
 
 /// How a memory module picks one winner among simultaneous requesters.
@@ -174,6 +176,138 @@ impl Default for MemoryModule {
     }
 }
 
+/// One memory module's pending-request set, incrementally maintained —
+/// the arbitration index that every event-driven skip-ahead kernel uses
+/// instead of rebuilding a request slice each cycle.
+///
+/// The id-sorted vector *is* the request snapshot a cycle stepper would
+/// hand to [`MemoryModule::arbitrate`], so random arbitration indexes into
+/// the identical slice with the identical draw. The winner is picked
+/// without scanning the set: random in O(1), round-robin by binary
+/// searching the rotating base, oldest-first through a `(since, id)`
+/// ordered index that is maintained only under that policy (the other
+/// modes never pay for it).
+///
+/// Unlike [`MemoryModule`], the set keeps no presented/served statistics:
+/// skip-ahead kernels charge presented accesses in bulk when a request is
+/// removed (a request is pending on *every* cycle of `[since, served]`
+/// because the kernels never skip a cycle while a set is non-empty), so a
+/// per-cycle counter would be both redundant and wrong across jumps.
+///
+/// # Examples
+///
+/// ```
+/// use abs_net::module::{Arbitration, PendingSet, Request};
+/// use abs_sim::rng::Xoshiro256PlusPlus;
+///
+/// let mut set = PendingSet::new(Arbitration::RoundRobin, 4);
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// set.insert(Request::new(2, 0));
+/// set.insert(Request::new(0, 0));
+/// assert_eq!(set.arbitrate(&mut rng), Some(0));
+/// assert_eq!(set.arbitrate(&mut rng), Some(2));
+/// assert_eq!(set.remove(0).id, 0);
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PendingSet {
+    policy: Arbitration,
+    requests: Vec<Request>,
+    /// Rotating round-robin priority; mirrors the module's last winner.
+    last_winner: Option<usize>,
+    /// `(since, id)` ordered view; maintained only under `OldestFirst`.
+    by_age: BTreeSet<(u64, usize)>,
+}
+
+impl PendingSet {
+    /// Creates an empty set with the given arbitration policy, sized for
+    /// `capacity` simultaneous requesters.
+    pub fn new(policy: Arbitration, capacity: usize) -> Self {
+        Self {
+            policy,
+            requests: Vec::with_capacity(capacity),
+            last_winner: None,
+            by_age: BTreeSet::new(),
+        }
+    }
+
+    /// The arbitration policy in force.
+    pub fn policy(&self) -> Arbitration {
+        self.policy
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether no request is pending.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Inserts a request; `req.id` must not already be pending.
+    pub fn insert(&mut self, req: Request) {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&req.id))
+            .expect_err("processor already pending");
+        self.requests.insert(at, req);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.insert((req.since, req.id));
+        }
+    }
+
+    /// Removes and returns processor `id`'s request.
+    pub fn remove(&mut self, id: usize) -> Request {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
+        let req = self.requests.remove(at);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.remove(&(req.since, req.id));
+        }
+        req
+    }
+
+    /// Re-ages processor `id`'s pending request to `since`.
+    pub fn refresh(&mut self, id: usize, since: u64) {
+        let at = self
+            .requests
+            .binary_search_by(|r| r.id.cmp(&id))
+            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
+        let old = std::mem::replace(&mut self.requests[at].since, since);
+        if self.policy == Arbitration::OldestFirst {
+            self.by_age.remove(&(old, id));
+            self.by_age.insert((since, id));
+        }
+    }
+
+    /// Picks this cycle's winner exactly as [`MemoryModule::arbitrate`]
+    /// would on the same snapshot: the same single RNG draw (random policy,
+    /// non-empty set only) and the same tie-breaks. The winner stays in the
+    /// set; the caller decides whether serving removes it.
+    pub fn arbitrate(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<usize> {
+        if self.requests.is_empty() {
+            return None;
+        }
+        let winner = match self.policy {
+            Arbitration::Random => self.requests[rng.next_below_usize(self.requests.len())].id,
+            Arbitration::RoundRobin => {
+                // Smallest id at-or-above the rotating base, wrapping to
+                // the smallest id overall.
+                let base = self.last_winner.map_or(0, |w| w + 1);
+                let at = self.requests.partition_point(|r| r.id < base);
+                self.requests[if at < self.requests.len() { at } else { 0 }].id
+            }
+            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1, // abs-lint: allow(panic-path) -- by_age is maintained in lockstep with the non-empty request list
+        };
+        self.last_winner = Some(winner);
+        Some(winner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +430,81 @@ mod tests {
         let mut r = rng();
         let requests = vec![Request::new(9, 4), Request::new(2, 4)];
         assert_eq!(m.arbitrate(&requests, &mut r), Some(2));
+    }
+
+    #[test]
+    fn pending_set_tracks_membership() {
+        let mut set = PendingSet::new(Arbitration::Random, 4);
+        assert!(set.is_empty());
+        set.insert(Request::new(3, 5));
+        set.insert(Request::new(1, 6));
+        assert_eq!(set.len(), 2);
+        let r = set.remove(3);
+        assert_eq!((r.id, r.since), (3, 5));
+        assert_eq!(set.len(), 1);
+        set.refresh(1, 9);
+        let r = set.remove(1);
+        assert_eq!((r.id, r.since), (1, 9));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already pending")]
+    fn pending_set_rejects_duplicate_id() {
+        let mut set = PendingSet::new(Arbitration::Random, 2);
+        set.insert(Request::new(0, 0));
+        set.insert(Request::new(0, 1));
+    }
+
+    #[test]
+    fn pending_set_empty_arbitration_draws_nothing() {
+        // An empty set must not touch the RNG — the skip-ahead kernels rely
+        // on this to keep the draw sequence identical to a cycle stepper
+        // that never presents an empty slice.
+        let mut set = PendingSet::new(Arbitration::Random, 2);
+        let mut a = rng();
+        let before = a.next_u64();
+        let mut b = rng();
+        assert_eq!(set.arbitrate(&mut b), None);
+        assert_eq!(before, b.next_u64());
+    }
+
+    #[test]
+    fn pending_set_matches_module_arbitration() {
+        // Lockstep equivalence: a PendingSet maintained incrementally and a
+        // MemoryModule handed the matching id-sorted slice must pick the
+        // same winner with the same RNG draws, across every policy and a
+        // randomized churn of inserts/removes/refreshes.
+        let mut churn = Xoshiro256PlusPlus::seed_from_u64(0xC0FFEE);
+        for policy in Arbitration::ALL {
+            let mut module = MemoryModule::new(policy);
+            let mut set = PendingSet::new(policy, 8);
+            let mut module_rng = rng();
+            let mut set_rng = rng();
+            let mut pending: Vec<Request> = Vec::new();
+            for cycle in 0..2000u64 {
+                // Random churn: maybe insert a new id, maybe refresh one.
+                let id = churn.next_below_usize(8);
+                if pending.iter().all(|r| r.id != id) {
+                    let req = Request::new(id, cycle);
+                    pending.push(req);
+                    pending.sort_by_key(|r| r.id);
+                    set.insert(req);
+                } else if churn.next_bool(0.3) {
+                    let at = pending.iter().position(|r| r.id == id).unwrap();
+                    pending[at].since = cycle;
+                    set.refresh(id, cycle);
+                }
+                let expect = module.arbitrate(&pending, &mut module_rng);
+                let got = set.arbitrate(&mut set_rng);
+                assert_eq!(expect, got, "policy {policy:?} cycle {cycle}");
+                // Serve the winner: remove from both views.
+                if let Some(w) = got {
+                    pending.retain(|r| r.id != w);
+                    set.remove(w);
+                }
+            }
+        }
     }
 
     #[test]

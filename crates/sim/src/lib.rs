@@ -20,6 +20,8 @@
 //! * [`kernel`] — the [`Kernel`] selector shared by every simulator that
 //!   ships both a reference cycle stepper and the event-driven skip-ahead
 //!   kernel (bit-identical by contract; `cycle` is the oracle).
+//! * [`wheel`] — the bucketed [`wheel::TimeWheel`] that every skip-ahead
+//!   kernel parks its future wake-ups in.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@ pub mod series;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod wheel;
 
 pub use kernel::Kernel;
 pub use rng::{SplitMix64, Xoshiro256PlusPlus};
