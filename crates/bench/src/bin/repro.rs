@@ -26,6 +26,10 @@
 //! timings) into the output directory; `--resume` loads it and skips
 //! exhibits already recorded as completed under the same seed/config.
 //!
+//! The open-loop exhibits (`loadsweep`, `fairness`) additionally emit a
+//! machine-readable JSON artifact into the output directory on every run;
+//! `--load`, `--tenants` and `--sched` parameterize them.
+//!
 //! `--trace FILE` additionally writes a Chrome trace-event JSON document:
 //! simulated-clock lanes (one process per traced episode, deterministic
 //! for the seed at any `--jobs` count) plus wall-clock worker lanes under
@@ -105,6 +109,15 @@ fn config_pairs(config: &ReproConfig) -> Vec<(String, String)> {
         ("reps".to_string(), config.reps.to_string()),
         ("procs".to_string(), config.procs.to_string()),
         ("max_n".to_string(), config.max_n.to_string()),
+        (
+            "load".to_string(),
+            config.load.map_or_else(|| "default".to_string(), |l| l.to_string()),
+        ),
+        ("tenants".to_string(), config.tenants.to_string()),
+        (
+            "sched".to_string(),
+            config.sched.map_or_else(|| "all".to_string(), |s| s.to_string()),
+        ),
     ]
 }
 
@@ -191,7 +204,9 @@ fn run(options: CliOptions) -> ExitCode {
                 for (unit, events) in &rendered.trace {
                     trace_units.push((format!("{}: {unit}", outcome.name), events.clone()));
                 }
-                match write_csv(&options, rendered) {
+                match write_csv(&options, rendered)
+                    .and_then(|csv| write_json(&out_dir, rendered).map(|json| csv.or(json)))
+                {
                     Ok(written) => {
                         artifact = written;
                         JobStatus::Ok
@@ -324,6 +339,20 @@ fn write_csv(options: &CliOptions, rendered: &Rendered) -> Result<Option<String>
         return Ok(None);
     };
     let path = dir.join(name);
+    fs::write(&path, data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("wrote {}", path.display());
+    Ok(Some(name.clone()))
+}
+
+/// Writes the exhibit's machine-readable JSON artifact (the open-loop
+/// exhibits carry one) into the output directory; returns the artifact
+/// name. Unlike CSV this needs no flag — the JSON *is* the exhibit's
+/// data product.
+fn write_json(out_dir: &std::path::Path, rendered: &Rendered) -> Result<Option<String>, String> {
+    let Some((name, data)) = rendered.json.as_ref() else {
+        return Ok(None);
+    };
+    let path = out_dir.join(name);
     fs::write(&path, data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     eprintln!("wrote {}", path.display());
     Ok(Some(name.clone()))

@@ -5,6 +5,7 @@
 use std::path::PathBuf;
 
 use abs_sim::Kernel;
+use abs_trace::sched::SchedKind;
 
 use crate::ReproConfig;
 
@@ -13,7 +14,7 @@ use crate::ReproConfig;
 pub const IDS: &[&str] = &[
     "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "hw", "sec71", "resource", "netback", "combining", "ablations", "single",
-    "snoopy",
+    "snoopy", "loadsweep", "fairness",
 ];
 
 /// One-line descriptions per experiment id, in [`IDS`] order (`repro
@@ -39,6 +40,8 @@ pub const EXHIBITS: &[(&str, &str)] = &[
     ("ablations", "Ablations: arbitration policy, determinism, backoff cap"),
     ("single", "Sections 2 & 4: single-variable barrier"),
     ("snoopy", "Section 2.1: snoopy-bus contrast"),
+    ("loadsweep", "Open loop: sync traffic and idle time vs offered load, per backoff policy"),
+    ("fairness", "Open loop: per-tenant throughput/latency shares, per scheduler policy"),
 ];
 
 /// A fully validated `repro` invocation.
@@ -166,6 +169,40 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I, default_jobs: usize) 
                     Err(e) => return Parsed::Error(e.to_string()),
                 }
             }
+            "--load" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return Parsed::Error("--load needs a positive rate multiplier".into());
+                };
+                if !(v > 0.0) || !v.is_finite() {
+                    return Parsed::Error(
+                        "--load 0 would offer no traffic; use a positive rate multiplier"
+                            .into(),
+                    );
+                }
+                // Stored as permille so ReproConfig stays Eq-comparable
+                // for the --resume manifest check.
+                config.load = Some((v * 1000.0).round().max(1.0) as u32);
+            }
+            "--tenants" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return Parsed::Error("--tenants needs a positive integer".into());
+                };
+                if v == 0 {
+                    return Parsed::Error(
+                        "--tenants 0 would offer no traffic; use --tenants 1 or more".into(),
+                    );
+                }
+                config.tenants = v;
+            }
+            "--sched" => {
+                let Some(v) = args.next() else {
+                    return Parsed::Error("--sched needs a value: rr, prio or cfs".into());
+                };
+                match v.parse::<SchedKind>() {
+                    Ok(s) => config.sched = Some(s),
+                    Err(e) => return Parsed::Error(e.to_string()),
+                }
+            }
             "--metrics" => metrics = true,
             "--list" => return Parsed::List,
             "--help" | "-h" => return Parsed::Help,
@@ -223,7 +260,8 @@ pub fn help() -> String {
     format!(
         "repro — regenerate the paper's tables and figures\n\n\
          usage: repro [--quick] [--reps N] [--seed S] [--jobs N] [--kernel K] [--resume]\n\
-        \x20            [--csv DIR] [--trace FILE] [--metrics] <id>... | all\n\
+        \x20            [--csv DIR] [--trace FILE] [--metrics]\n\
+        \x20            [--load R] [--tenants N] [--sched P] <id>... | all\n\
         \x20       repro lint [--json]\n\n\
          --jobs N    run exhibits on N worker threads (default: available\n\
         \x20            parallelism); output is bit-identical at any N\n\
@@ -236,6 +274,11 @@ pub fn help() -> String {
          --trace F   write a Chrome trace-event JSON file (open in Perfetto\n\
         \x20            or chrome://tracing); sim lanes are seed-deterministic\n\
          --metrics   print a metrics snapshot of the run\n\
+         --load R    open-loop exhibits only: scale every offered-load grid\n\
+        \x20            point by R (positive rate multiplier)\n\
+         --tenants N open-loop exhibits only: tenant population size\n\
+         --sched P   open-loop exhibits only: restrict to one scheduler\n\
+        \x20            policy (rr, prio or cfs; default runs all three)\n\
          --list      print the exhibit table (id + description) and exit\n\
          lint        run the abs-lint static-analysis pass over the\n\
         \x20            workspace (--json also writes repro_out/lint_report.json)\n\n\
@@ -261,6 +304,15 @@ pub fn list() -> String {
             .join(" "),
     );
     out.push_str("  (bit-identical; cycle is the reference oracle)\n");
+    out.push_str("schedulers (--sched): ");
+    out.push_str(
+        &SchedKind::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    out.push_str("  (open-loop exhibits; default runs all three)\n");
     out
 }
 
@@ -403,7 +455,7 @@ mod tests {
     #[test]
     fn help_mentions_new_flags() {
         let h = help();
-        for flag in ["--trace", "--metrics", "--list", "--kernel"] {
+        for flag in ["--trace", "--metrics", "--list", "--kernel", "--load", "--tenants", "--sched"] {
             assert!(h.contains(flag), "help must mention {flag}");
         }
     }
@@ -453,10 +505,75 @@ mod tests {
     }
 
     #[test]
+    fn load_flag_parses_to_permille() {
+        let o = options(&["--load", "1.5", "loadsweep"]);
+        assert_eq!(o.config.load, Some(1_500));
+        assert_eq!(options(&["loadsweep"]).config.load, None);
+        assert_eq!(options(&["--load", "0.25", "fairness"]).config.load, Some(250));
+    }
+
+    #[test]
+    fn zero_or_bad_load_rejected() {
+        assert_eq!(
+            parse(&["--load", "0", "loadsweep"]),
+            Parsed::Error(
+                "--load 0 would offer no traffic; use a positive rate multiplier".into()
+            )
+        );
+        assert!(matches!(parse(&["--load", "-2", "loadsweep"]), Parsed::Error(_)));
+        assert!(matches!(parse(&["--load", "inf", "loadsweep"]), Parsed::Error(_)));
+        assert!(matches!(parse(&["--load", "x", "loadsweep"]), Parsed::Error(_)));
+        assert!(matches!(parse(&["--load"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn tenants_flag_parses_and_rejects_zero() {
+        assert_eq!(options(&["--tenants", "7", "fairness"]).config.tenants, 7);
+        assert_eq!(
+            parse(&["--tenants", "0", "fairness"]),
+            Parsed::Error(
+                "--tenants 0 would offer no traffic; use --tenants 1 or more".into()
+            )
+        );
+        assert!(matches!(parse(&["--tenants"]), Parsed::Error(_)));
+    }
+
+    #[test]
+    fn sched_flag_parses() {
+        assert_eq!(options(&["fairness"]).config.sched, None);
+        assert_eq!(
+            options(&["--sched", "rr", "fairness"]).config.sched,
+            Some(SchedKind::RoundRobin)
+        );
+        assert_eq!(
+            options(&["--sched", "prio", "fairness"]).config.sched,
+            Some(SchedKind::StrictPriority)
+        );
+        assert_eq!(
+            options(&["--sched", "cfs", "fairness"]).config.sched,
+            Some(SchedKind::Cfs)
+        );
+    }
+
+    #[test]
+    fn unknown_sched_rejected() {
+        match parse(&["--sched", "fifo", "fairness"]) {
+            Parsed::Error(msg) => {
+                assert!(msg.contains("fifo"), "{msg}");
+                assert!(msg.contains("rr") && msg.contains("cfs"), "{msg}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert!(matches!(parse(&["--sched"]), Parsed::Error(_)));
+    }
+
+    #[test]
     fn list_mentions_kernels() {
         let listing = list();
         assert!(listing.contains("--kernel"), "{listing}");
         assert!(listing.contains("cycle"), "{listing}");
         assert!(listing.contains("event"), "{listing}");
+        assert!(listing.contains("--sched"), "{listing}");
+        assert!(listing.contains("cfs"), "{listing}");
     }
 }

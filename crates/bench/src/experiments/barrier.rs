@@ -19,7 +19,7 @@ use crate::ReproConfig;
 /// so the returned vector is bit-for-bit the same at any worker count. A
 /// panicking point propagates the panic to the caller, mirroring the
 /// sequential path.
-fn sweep_points<P, T, F>(points: &[P], config: &ReproConfig, eval: F) -> Vec<T>
+pub(crate) fn sweep_points<P, T, F>(points: &[P], config: &ReproConfig, eval: F) -> Vec<T>
 where
     P: Sync,
     T: Send,

@@ -1,0 +1,486 @@
+//! Open-loop extension exhibits: the offered-load sweep and the
+//! per-tenant fairness table.
+//!
+//! Both drive [`abs_load::OpenLoopSim`] — traffic that does *not*
+//! self-throttle when the sync variables congest, unlike every
+//! closed-loop exhibit — and both additionally emit a machine-readable
+//! JSON document (committed into the output directory by the `repro`
+//! binary) so downstream plotting never scrapes the printed tables.
+
+use abs_core::BackoffPolicy;
+use abs_exec::json::Value;
+use abs_load::arrival::Arrival;
+use abs_load::engine::{LoadConfig, OpenLoopSim};
+use abs_load::tenant::{OpMix, Tenant};
+use abs_sim::stats::OnlineStats;
+use abs_sim::sweep::derive_seed;
+use abs_sim::table::{fmt_f64, Table};
+use abs_trace::sched::SchedKind;
+
+use super::barrier::sweep_points;
+use crate::ReproConfig;
+
+/// Offered-load grid in permille of the baseline population rate; the
+/// `--load` multiplier scales every point.
+const LOAD_GRID: [u32; 5] = [250, 500, 1_000, 2_000, 4_000];
+
+/// Simulated horizon of every open-loop episode.
+const HORIZON: u64 = 8_000;
+
+/// One rendered open-loop exhibit: the printable table plus the JSON
+/// artifact `(file name, payload)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadExhibit {
+    /// The printable per-point table.
+    pub table: Table,
+    /// The machine-readable artifact, written into the output directory.
+    pub json: (String, String),
+}
+
+/// The baseline tenant population: `config.tenants` sources cycling
+/// through the three arrival shapes (Poisson, bursty, diurnal) with
+/// descending scheduler weights, scaled by the `--load` multiplier.
+pub(crate) fn population(config: &ReproConfig) -> Vec<Tenant> {
+    let n = config.tenants.max(1);
+    let scale = f64::from(config.load.unwrap_or(1_000)) / 1_000.0;
+    (0..n)
+        .map(|t| {
+            let gap = 60.0 + 25.0 * t as f64;
+            let arrival = match t % 3 {
+                0 => Arrival::poisson(gap),
+                1 => Arrival::bursty(6.0, gap / 8.0, 3.0 * gap),
+                _ => Arrival::diurnal(4_096, vec![gap, gap / 2.0, 2.0 * gap]),
+            };
+            Tenant {
+                weight: (n - t) as u64,
+                arrival: arrival.scaled(scale),
+                op_mix: if t % 2 == 0 { OpMix::EVEN } else { OpMix::FAA },
+                work: 3 + 2 * (t as u64 % 3),
+            }
+        })
+        .collect()
+}
+
+/// Scales every tenant's arrival rate by `permille / 1000`.
+fn at_load(tenants: &[Tenant], permille: u32) -> Vec<Tenant> {
+    tenants
+        .iter()
+        .map(|t| Tenant {
+            arrival: t.arrival.scaled(f64::from(permille) / 1_000.0),
+            ..t.clone()
+        })
+        .collect()
+}
+
+/// The common JSON envelope: exhibit id, reproduction parameters, rows.
+fn envelope(id: &str, config: &ReproConfig, extra: Vec<(String, Value)>, rows: Vec<Value>) -> Value {
+    let mut pairs = vec![
+        ("exhibit".to_string(), Value::Str(id.to_string())),
+        ("seed".to_string(), Value::Str(config.seed.to_string())),
+        ("reps".to_string(), Value::Num(f64::from(config.reps))),
+        ("procs".to_string(), Value::Num(config.procs as f64)),
+        ("tenants".to_string(), Value::Num(config.tenants as f64)),
+        (
+            "load".to_string(),
+            Value::Num(f64::from(config.load.unwrap_or(1_000)) / 1_000.0),
+        ),
+        ("horizon".to_string(), Value::Num(HORIZON as f64)),
+    ];
+    pairs.extend(extra);
+    pairs.push(("rows".to_string(), Value::Arr(rows)));
+    Value::Obj(pairs)
+}
+
+/// Per-point aggregates of the loadsweep.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepRow {
+    arrivals: f64,
+    completed: f64,
+    sync_per_job: f64,
+    idle_fraction: f64,
+    queue_depth: f64,
+}
+
+/// **`loadsweep`**: sync traffic and processor idle time vs offered load,
+/// one curve per backoff policy.
+///
+/// The closed-loop figures cannot separate "backoff saves traffic" from
+/// "backoff slows the sources down", because their sources stall while
+/// waiting. Here arrivals keep coming at the configured rate regardless,
+/// so the sweep shows directly how many sync accesses each admitted job
+/// costs and how much processor time the population leaves idle as the
+/// offered load crosses saturation.
+pub fn loadsweep(config: &ReproConfig) -> LoadExhibit {
+    let tenants = population(config);
+    let sched = config.sched.unwrap_or_default();
+    let points: Vec<(u32, BackoffPolicy)> = LOAD_GRID
+        .iter()
+        .flat_map(|&l| {
+            BackoffPolicy::figure_policies()
+                .into_iter()
+                .map(move |p| (l, p))
+        })
+        .collect();
+    let reps = config.reps;
+    let kernel = config.kernel;
+    let procs = config.procs;
+    let results: Vec<SweepRow> = sweep_points(&points, config, move |&(permille, policy), seed| {
+        let sim = OpenLoopSim::new(
+            LoadConfig {
+                procs,
+                horizon: HORIZON,
+                sched,
+                backoff: policy,
+                ..LoadConfig::default()
+            },
+            at_load(&tenants, permille),
+        );
+        let mut arrivals = OnlineStats::new();
+        let mut completed = OnlineStats::new();
+        let mut sync_per_job = OnlineStats::new();
+        let mut idle = OnlineStats::new();
+        let mut depth = OnlineStats::new();
+        for rep in 0..reps {
+            let o = sim.run_with(derive_seed(seed, u64::from(rep)), kernel);
+            arrivals.push(o.arrivals as f64);
+            completed.push(o.completed as f64);
+            sync_per_job.push(o.sync_accesses as f64 / (o.completed.max(1)) as f64);
+            idle.push(o.idle_fraction());
+            depth.push(o.avg_queue_depth);
+        }
+        SweepRow {
+            arrivals: arrivals.mean(),
+            completed: completed.mean(),
+            sync_per_job: sync_per_job.mean(),
+            idle_fraction: idle.mean(),
+            queue_depth: depth.mean(),
+        }
+    });
+
+    let mut table = Table::new(vec![
+        "load",
+        "policy",
+        "arrivals",
+        "completed",
+        "sync/job",
+        "idle %",
+        "queue",
+    ])
+    .with_title(format!(
+        "Open loop: sync traffic and idle time vs offered load ({} scheduler)",
+        sched.label()
+    ));
+    let mut rows = Vec::new();
+    for (&(permille, policy), r) in points.iter().zip(&results) {
+        let load = f64::from(permille) / 1_000.0;
+        table.add_row(vec![
+            fmt_f64(load, 2),
+            policy.label(),
+            fmt_f64(r.arrivals, 0),
+            fmt_f64(r.completed, 0),
+            fmt_f64(r.sync_per_job, 2),
+            fmt_f64(r.idle_fraction * 100.0, 1),
+            fmt_f64(r.queue_depth, 1),
+        ]);
+        rows.push(Value::Obj(vec![
+            ("load".to_string(), Value::Num(load)),
+            ("policy".to_string(), Value::Str(policy.label())),
+            ("arrivals".to_string(), Value::Num(r.arrivals)),
+            ("completed".to_string(), Value::Num(r.completed)),
+            ("sync_per_job".to_string(), Value::Num(r.sync_per_job)),
+            ("idle_fraction".to_string(), Value::Num(r.idle_fraction)),
+            ("queue_depth".to_string(), Value::Num(r.queue_depth)),
+        ]));
+    }
+    let doc = envelope(
+        "loadsweep",
+        config,
+        vec![("sched".to_string(), Value::Str(sched.name().to_string()))],
+        rows,
+    );
+    LoadExhibit {
+        table,
+        json: ("loadsweep.json".to_string(), doc.render_pretty()),
+    }
+}
+
+/// Per-(scheduler, tenant) aggregates of the fairness exhibit.
+#[derive(Debug, Clone, PartialEq)]
+struct FairRow {
+    arrivals: f64,
+    completed: f64,
+    throughput: f64,
+    wait: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+    service_share: f64,
+}
+
+/// **`fairness`**: per-tenant throughput and latency shares under
+/// contention, one block per admission-scheduler policy.
+///
+/// The population is offered at sixteen times its baseline rate onto a
+/// quarter of the processors, so admission — not the sync variables — is
+/// the bottleneck and the scheduler's allocation becomes visible:
+/// round-robin equalizes admissions, strict priority starves the tail
+/// tenants, and CFS apportions service by weight. Backoff is off so a
+/// job's service time stays short and comparable across tenants (the
+/// loadsweep covers the backoff axis).
+pub fn fairness(config: &ReproConfig) -> LoadExhibit {
+    let tenants = at_load(&population(config), 16_000);
+    let procs = (config.procs / 4).max(2);
+    let scheds: Vec<SchedKind> = match config.sched {
+        Some(s) => vec![s],
+        None => SchedKind::ALL.to_vec(),
+    };
+    let reps = config.reps;
+    let kernel = config.kernel;
+    let results: Vec<Vec<FairRow>> = sweep_points(&scheds, config, move |&sched, seed| {
+        let sim = OpenLoopSim::new(
+            LoadConfig {
+                procs,
+                horizon: HORIZON,
+                sched,
+                backoff: BackoffPolicy::None,
+                ..LoadConfig::default()
+            },
+            tenants.clone(),
+        );
+        let n = tenants.len();
+        let mut stats: Vec<[OnlineStats; 8]> = (0..n).map(|_| Default::default()).collect();
+        for rep in 0..reps {
+            let o = sim.run_with(derive_seed(seed, u64::from(rep)), kernel);
+            let total_service: u64 = o.tenants.iter().map(|t| t.service_cycles).sum();
+            for (t, outcome) in o.tenants.iter().enumerate() {
+                let s = &mut stats[t];
+                s[0].push(outcome.arrivals as f64);
+                s[1].push(outcome.completed as f64);
+                s[2].push(outcome.throughput_per_kilocycle);
+                s[3].push(outcome.avg_admission_wait);
+                s[4].push(outcome.p50_latency);
+                s[5].push(outcome.p95_latency);
+                s[6].push(outcome.p99_latency);
+                s[7].push(outcome.service_cycles as f64 / total_service.max(1) as f64);
+            }
+        }
+        stats
+            .into_iter()
+            .map(|s| FairRow {
+                arrivals: s[0].mean(),
+                completed: s[1].mean(),
+                throughput: s[2].mean(),
+                wait: s[3].mean(),
+                p50: s[4].mean(),
+                p95: s[5].mean(),
+                p99: s[6].mean(),
+                service_share: s[7].mean(),
+            })
+            .collect()
+    });
+
+    let population = population(config);
+    let mut table = Table::new(vec![
+        "scheduler",
+        "tenant",
+        "weight",
+        "arrivals",
+        "completed",
+        "thr/kcyc",
+        "admit wait",
+        "p50",
+        "p95",
+        "p99",
+        "svc share",
+    ])
+    .with_title(format!(
+        "Open loop: per-tenant shares under contention (16x load, {procs} processors)"
+    ));
+    let mut rows = Vec::new();
+    for (sched, per_tenant) in scheds.iter().zip(&results) {
+        for (t, r) in per_tenant.iter().enumerate() {
+            table.add_row(vec![
+                sched.label().to_string(),
+                format!("t{t}"),
+                population[t].weight.to_string(),
+                fmt_f64(r.arrivals, 0),
+                fmt_f64(r.completed, 0),
+                fmt_f64(r.throughput, 2),
+                fmt_f64(r.wait, 1),
+                fmt_f64(r.p50, 0),
+                fmt_f64(r.p95, 0),
+                fmt_f64(r.p99, 0),
+                fmt_f64(r.service_share, 3),
+            ]);
+            rows.push(Value::Obj(vec![
+                ("sched".to_string(), Value::Str(sched.name().to_string())),
+                ("tenant".to_string(), Value::Num(t as f64)),
+                (
+                    "weight".to_string(),
+                    Value::Num(population[t].weight as f64),
+                ),
+                ("arrivals".to_string(), Value::Num(r.arrivals)),
+                ("completed".to_string(), Value::Num(r.completed)),
+                ("throughput_per_kilocycle".to_string(), Value::Num(r.throughput)),
+                ("avg_admission_wait".to_string(), Value::Num(r.wait)),
+                ("p50_latency".to_string(), Value::Num(r.p50)),
+                ("p95_latency".to_string(), Value::Num(r.p95)),
+                ("p99_latency".to_string(), Value::Num(r.p99)),
+                ("service_share".to_string(), Value::Num(r.service_share)),
+            ]));
+        }
+    }
+    let doc = envelope(
+        "fairness",
+        config,
+        vec![(
+            "contended_procs".to_string(),
+            Value::Num(procs as f64),
+        )],
+        rows,
+    );
+    LoadExhibit {
+        table,
+        json: ("fairness.json".to_string(), doc.render_pretty()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ReproConfig {
+        ReproConfig::quick()
+    }
+
+    #[test]
+    fn loadsweep_covers_the_grid_for_every_policy() {
+        let ex = loadsweep(&quick());
+        assert_eq!(
+            ex.table.len(),
+            LOAD_GRID.len() * BackoffPolicy::figure_policies().len()
+        );
+        let doc = Value::parse(&ex.json.1).expect("artifact must parse");
+        assert_eq!(doc.get("exhibit").and_then(Value::as_str), Some("loadsweep"));
+        assert_eq!(
+            doc.get("rows").and_then(Value::as_array).map(<[Value]>::len),
+            Some(ex.table.len())
+        );
+    }
+
+    #[test]
+    fn loadsweep_idle_time_falls_as_offered_load_rises() {
+        let ex = loadsweep(&quick());
+        let doc = Value::parse(&ex.json.1).unwrap();
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        let idle_at = |load: f64| {
+            rows.iter()
+                .find(|r| {
+                    r.get("load").and_then(Value::as_f64) == Some(load)
+                        && r.get("policy").and_then(Value::as_str)
+                            == Some("without backoff")
+                })
+                .and_then(|r| r.get("idle_fraction"))
+                .and_then(Value::as_f64)
+                .unwrap()
+        };
+        assert!(
+            idle_at(0.25) > idle_at(4.0),
+            "idle {} at 0.25x vs {} at 4x",
+            idle_at(0.25),
+            idle_at(4.0)
+        );
+    }
+
+    #[test]
+    fn fairness_reports_every_scheduler_and_tenant() {
+        let config = quick();
+        let ex = fairness(&config);
+        assert_eq!(ex.table.len(), SchedKind::ALL.len() * config.tenants);
+        let doc = Value::parse(&ex.json.1).unwrap();
+        assert_eq!(
+            doc.get("rows").and_then(Value::as_array).map(<[Value]>::len),
+            Some(ex.table.len())
+        );
+        // --sched restricts the exhibit to one policy block.
+        let one = fairness(&ReproConfig {
+            sched: Some(SchedKind::Cfs),
+            ..quick()
+        });
+        assert_eq!(one.table.len(), config.tenants);
+    }
+
+    #[test]
+    fn strict_priority_favors_the_first_tenant() {
+        let ex = fairness(&quick());
+        let doc = Value::parse(&ex.json.1).unwrap();
+        let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+        let field = |sched: &str, tenant: f64, key: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.get("sched").and_then(Value::as_str) == Some(sched)
+                        && r.get("tenant").and_then(Value::as_f64) == Some(tenant)
+                })
+                .and_then(|r| r.get(key))
+                .and_then(Value::as_f64)
+                .unwrap()
+        };
+        let last = (quick().tenants - 1) as f64;
+        assert!(
+            field("prio", 0.0, "service_share") > field("prio", last, "service_share"),
+            "prio t0 {} vs t{last} {}",
+            field("prio", 0.0, "service_share"),
+            field("prio", last, "service_share")
+        );
+        // The starved tail tenant also waits far longer for admission.
+        assert!(
+            field("prio", last, "avg_admission_wait")
+                > 2.0 * field("prio", 0.0, "avg_admission_wait"),
+            "prio t{last} wait {} vs t0 wait {}",
+            field("prio", last, "avg_admission_wait"),
+            field("prio", 0.0, "avg_admission_wait")
+        );
+    }
+
+    #[test]
+    fn parallel_and_kernel_runs_are_bit_identical() {
+        use abs_sim::Kernel;
+        let base = loadsweep(&quick());
+        assert_eq!(base, loadsweep(&quick().with_jobs(4)), "jobs");
+        assert_eq!(base, loadsweep(&quick().with_kernel(Kernel::Cycle)), "kernel");
+        let fair = fairness(&quick());
+        assert_eq!(fair, fairness(&quick().with_jobs(4)), "fairness jobs");
+        assert_eq!(
+            fair,
+            fairness(&quick().with_kernel(Kernel::Cycle)),
+            "fairness kernel"
+        );
+    }
+
+    #[test]
+    fn load_multiplier_scales_offered_traffic() {
+        let light = fairness(&ReproConfig {
+            load: Some(250),
+            ..quick()
+        });
+        let heavy = fairness(&ReproConfig {
+            load: Some(2_000),
+            ..quick()
+        });
+        let arrivals = |ex: &LoadExhibit| -> f64 {
+            let doc = Value::parse(&ex.json.1).unwrap();
+            doc.get("rows")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .filter_map(|r| r.get("arrivals").and_then(Value::as_f64))
+                .sum()
+        };
+        assert!(
+            arrivals(&heavy) > 2.0 * arrivals(&light),
+            "heavy {} light {}",
+            arrivals(&heavy),
+            arrivals(&light)
+        );
+    }
+}

@@ -4,6 +4,7 @@ mod ablations;
 mod barrier;
 mod coherence;
 mod extensions;
+mod load;
 mod traces;
 mod tracing;
 mod variants;
@@ -12,6 +13,7 @@ pub use ablations::{ablation_arbitration, ablation_cap, ablation_determinism};
 pub use barrier::{barrier_figures, fig4, hardware, sec71, BarrierFigures};
 pub use coherence::{fig1, table1, table2};
 pub use extensions::{combining, netback, resource};
+pub use load::{fairness, loadsweep, LoadExhibit};
 pub use traces::{fig3, table3};
 pub use tracing::sim_trace;
 pub use variants::{single, snoopy};

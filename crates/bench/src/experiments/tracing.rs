@@ -9,10 +9,13 @@
 //! units — and their exported bytes — are identical at any `--jobs` count.
 
 use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_load::engine::{LoadConfig, OpenLoopSim};
 use abs_net::{NetworkBackoff, PacketConfig, PacketSim};
 use abs_obs::trace::{Event, Ring};
 use abs_sim::sweep::derive_seed;
+use abs_trace::sched::SchedKind;
 
+use crate::experiments::load::population;
 use crate::ReproConfig;
 
 /// Returns the traced units of one exhibit as `(unit name, events)` pairs,
@@ -36,6 +39,21 @@ pub fn sim_trace(id: &str, config: &ReproConfig) -> Vec<(String, Vec<Event>)> {
         .iter()
         .map(|&policy| packet_unit(policy, config))
         .collect(),
+        // The open-loop exhibits: loadsweep varies the backoff policy,
+        // fairness the admission scheduler.
+        "loadsweep" => BackoffPolicy::figure_policies()
+            .into_iter()
+            .map(|policy| {
+                load_unit(config.sched.unwrap_or_default(), policy, config)
+            })
+            .collect(),
+        "fairness" => match config.sched {
+            Some(s) => vec![load_unit(s, BackoffPolicy::None, config)],
+            None => SchedKind::ALL
+                .iter()
+                .map(|&s| load_unit(s, BackoffPolicy::None, config))
+                .collect(),
+        },
         _ => Vec::new(),
     }
 }
@@ -52,6 +70,31 @@ fn barrier_unit(a: u64, policy: BackoffPolicy, config: &ReproConfig) -> (String,
     let mut ring = Ring::default();
     sim.run_traced_with(derive_seed(config.seed, 0), &mut ring, config.kernel);
     (format!("A={a} {}", policy.label()), ring.into_events())
+}
+
+fn load_unit(
+    sched: SchedKind,
+    policy: BackoffPolicy,
+    config: &ReproConfig,
+) -> (String, Vec<Event>) {
+    // One representative open-loop episode, shortened so a traced unit
+    // stays legible in a viewer.
+    let sim = OpenLoopSim::new(
+        LoadConfig {
+            procs: config.procs.min(16),
+            horizon: 4_000,
+            sched,
+            backoff: policy,
+            ..LoadConfig::default()
+        },
+        population(config),
+    );
+    let mut ring = Ring::default();
+    sim.run_traced_with(derive_seed(config.seed ^ 0x10AD, 0), &mut ring, config.kernel);
+    (
+        format!("open-loop: {} / {}", sched.label(), policy.label()),
+        ring.into_events(),
+    )
 }
 
 fn packet_unit(policy: NetworkBackoff, config: &ReproConfig) -> (String, Vec<Event>) {
@@ -83,6 +126,13 @@ mod tests {
         assert_eq!(sim_trace("fig4", &config).len(), 3);
         assert_eq!(sim_trace("fig7", &config).len(), 5);
         assert_eq!(sim_trace("netback", &config).len(), 2);
+        assert_eq!(sim_trace("loadsweep", &config).len(), 5);
+        assert_eq!(sim_trace("fairness", &config).len(), 3);
+        let one = ReproConfig {
+            sched: Some(SchedKind::Cfs),
+            ..config
+        };
+        assert_eq!(sim_trace("fairness", &one).len(), 1);
         assert!(sim_trace("table1", &config).is_empty());
     }
 
@@ -97,7 +147,7 @@ mod tests {
         use abs_sim::Kernel;
         let event = ReproConfig::quick();
         let cycle = ReproConfig::quick().with_kernel(Kernel::Cycle);
-        for id in ["fig7", "netback"] {
+        for id in ["fig7", "netback", "loadsweep", "fairness"] {
             assert_eq!(sim_trace(id, &cycle), sim_trace(id, &event), "{id}");
         }
     }

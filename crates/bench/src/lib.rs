@@ -24,6 +24,8 @@
 //! | `single` | Secs. 2 & 4 one-variable barrier | [`experiments::single`] |
 //! | `snoopy` | Sec. 2.1 snoopy-bus contrast | [`experiments::snoopy`] |
 //! | `ablations` | arbitration / determinism / cap | [`experiments::ablation_arbitration`] et al. |
+//! | `loadsweep` | open-loop offered-load sweep | [`experiments::loadsweep`] |
+//! | `fairness` | per-tenant shares per scheduler | [`experiments::fairness`] |
 
 pub mod cli;
 pub mod experiments;
@@ -31,6 +33,7 @@ pub mod harness;
 pub mod render;
 
 use abs_sim::Kernel;
+use abs_trace::sched::SchedKind;
 
 /// Controls how heavy the regeneration runs are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,16 @@ pub struct ReproConfig {
     /// bit-identical; `cycle` is the reference oracle, `event` (the
     /// default) skips dead cycles.
     pub kernel: Kernel,
+    /// Offered-load override for the open-loop exhibits, in permille of
+    /// each sweep grid point's baseline rate (`None` sweeps the built-in
+    /// grid; stored as permille so the config stays `Eq`-comparable for
+    /// `--resume`).
+    pub load: Option<u32>,
+    /// Tenant population size for the open-loop exhibits.
+    pub tenants: usize,
+    /// Scheduler-policy restriction for the open-loop exhibits (`None`
+    /// runs all of [`abs_trace::sched::SchedKind::ALL`]).
+    pub sched: Option<SchedKind>,
 }
 
 impl ReproConfig {
@@ -64,6 +77,9 @@ impl ReproConfig {
             max_n: 512,
             jobs: 1,
             kernel: Kernel::default(),
+            load: None,
+            tenants: 4,
+            sched: None,
         }
     }
 
@@ -76,6 +92,9 @@ impl ReproConfig {
             max_n: 64,
             jobs: 1,
             kernel: Kernel::default(),
+            load: None,
+            tenants: 3,
+            sched: None,
         }
     }
 

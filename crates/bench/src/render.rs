@@ -21,6 +21,10 @@ pub struct Rendered {
     pub text: String,
     /// `(file name, payload)` for figure series when `--csv` is given.
     pub csv: Option<(String, String)>,
+    /// `(file name, payload)` machine-readable JSON artifact, written
+    /// into the output directory unconditionally (the open-loop exhibits
+    /// emit one).
+    pub json: Option<(String, String)>,
     /// Traced units as `(unit name, events)`, empty unless tracing was
     /// requested (and for exhibits with no cycle-resolved simulation).
     pub trace: Vec<(String, Vec<Event>)>,
@@ -31,6 +35,7 @@ pub struct Rendered {
 /// unaffected (tracing never perturbs simulation results).
 pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
     let mut csv: Option<(String, String)> = None;
+    let mut json: Option<(String, String)> = None;
     let text = match id {
         "fig1" => experiments::fig1(config).to_string(),
         "table1" => experiments::table1(config).to_string(),
@@ -64,6 +69,15 @@ pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
         "combining" => experiments::combining(config).to_string(),
         "single" => experiments::single(config).to_string(),
         "snoopy" => experiments::snoopy(config).to_string(),
+        "loadsweep" | "fairness" => {
+            let exhibit = if id == "loadsweep" {
+                experiments::loadsweep(config)
+            } else {
+                experiments::fairness(config)
+            };
+            json = Some(exhibit.json);
+            exhibit.table.to_string()
+        }
         "ablations" => format!(
             "{}\n{}\n{}",
             experiments::ablation_arbitration(config),
@@ -77,7 +91,7 @@ pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
     } else {
         Vec::new()
     };
-    Rendered { text, csv, trace }
+    Rendered { text, csv, json, trace }
 }
 
 /// Merges traced units (already in request order, names prefixed with
@@ -101,7 +115,23 @@ mod tests {
     fn untraced_render_carries_no_units() {
         let r = render_one("table1", &ReproConfig::quick(), false);
         assert!(r.trace.is_empty());
+        assert!(r.json.is_none());
         assert!(!r.text.is_empty());
+    }
+
+    #[test]
+    fn open_loop_exhibits_carry_json_artifacts() {
+        for id in ["loadsweep", "fairness"] {
+            let r = render_one(id, &ReproConfig::quick(), false);
+            let (name, payload) = r.json.expect("open-loop exhibits emit JSON");
+            assert_eq!(name, format!("{id}.json"));
+            let doc = abs_exec::json::Value::parse(&payload).expect("valid JSON");
+            assert_eq!(
+                doc.get("exhibit").and_then(abs_exec::json::Value::as_str),
+                Some(id)
+            );
+            assert!(!r.text.is_empty());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //!
 //! | location | determinism | panic-path | unsafe-audit |
 //! |---|---|---|---|
-//! | `crates/{core,net,sync,model,coherence,trace,sim}/src` | ✔ | ✔ | ✔ |
+//! | `crates/{core,net,sync,model,coherence,trace,sim,load}/src` | ✔ | ✔ | ✔ |
 //! | other `crates/*/src`, root `src/` | ✘ | ✔ | ✔ |
 //! | `tests/`, `benches/`, `examples/` anywhere | ✘ | ✘ | ✔ |
 //!
@@ -20,7 +20,16 @@ use std::path::{Path, PathBuf};
 use crate::rules::{Finding, Rule, SourcePolicy};
 
 /// Directory names of the simulation crates (determinism rule applies).
-pub const SIM_CRATES: &[&str] = &["core", "net", "sync", "model", "coherence", "trace", "sim"];
+pub const SIM_CRATES: &[&str] = &[
+    "core",
+    "net",
+    "sync",
+    "model",
+    "coherence",
+    "trace",
+    "sim",
+    "load",
+];
 
 /// One Rust source file plus the policy governing it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,7 +183,7 @@ mod tests {
     #[test]
     fn discovers_all_crates_and_manifests() {
         let ws = this_workspace();
-        assert!(ws.manifests.len() >= 11, "{}", ws.manifests.len());
+        assert!(ws.manifests.len() >= 12, "{}", ws.manifests.len());
         assert_eq!(ws.manifests[0].1, "Cargo.toml");
         assert!(ws
             .manifests
@@ -194,6 +203,7 @@ mod tests {
         };
         assert!(policy_of("crates/coherence/src/directory.rs").determinism);
         assert!(policy_of("crates/net/src/packet.rs").determinism);
+        assert!(policy_of("crates/load/src/engine.rs").determinism);
         assert!(!policy_of("crates/exec/src/engine.rs").determinism);
         assert!(policy_of("crates/exec/src/engine.rs").panic_path);
         assert!(!policy_of("crates/bench/benches/kernel_speedup.rs").panic_path);

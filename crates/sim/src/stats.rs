@@ -227,6 +227,68 @@ pub fn median_abs_deviation(values: &[f64]) -> f64 {
     median(&deviations)
 }
 
+/// The `q`-quantile of `values` by the **nearest-rank** method
+/// (`q` in `[0, 1]`), or 0.0 when empty. Non-finite values are ignored.
+///
+/// Nearest rank is the classic conservative definition: the smallest
+/// element such that at least `q · n` elements are ≤ it
+/// (rank `⌈q · n⌉`, 1-based). Unlike interpolating definitions it always
+/// returns an observed value, which is what the latency tables want — a
+/// "p99 of 340 cycles" that no request actually experienced is not
+/// reportable.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::stats::quantile;
+/// let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+/// assert_eq!(quantile(&v, 0.5), 5.0); // rank ⌈0.5·10⌉ = 5
+/// assert_eq!(quantile(&v, 0.95), 10.0); // rank ⌈9.5⌉ = 10
+/// assert_eq!(quantile(&v, 0.0), 1.0); // by convention: the minimum
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare")); // abs-lint: allow(panic-path) -- values were filtered to finite just above
+    let n = v.len();
+    // 1-based nearest rank ⌈q·n⌉, clamped to [1, n] (q = 0 → minimum).
+    let rank = (q * n as f64).ceil() as usize;
+    v[rank.clamp(1, n) - 1]
+}
+
+/// The 50th percentile (nearest-rank median) of `values`.
+///
+/// Note this differs from [`median`] on even counts: nearest rank picks
+/// the lower of the two middle elements instead of averaging them.
+pub fn p50(values: &[f64]) -> f64 {
+    quantile(values, 0.50)
+}
+
+/// The 95th percentile (nearest rank) of `values`.
+pub fn p95(values: &[f64]) -> f64 {
+    quantile(values, 0.95)
+}
+
+/// The 99th percentile (nearest rank) of `values`.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::stats::p99;
+/// let v: Vec<f64> = (1..=100).map(f64::from).collect();
+/// assert_eq!(p99(&v), 99.0);
+/// ```
+pub fn p99(values: &[f64]) -> f64 {
+    quantile(values, 0.99)
+}
+
 /// An immutable snapshot of an [`OnlineStats`] accumulator.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
@@ -429,6 +491,62 @@ impl FromIterator<u64> for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_known_answers() {
+        // Wikipedia's worked nearest-rank example: ordered list of 10.
+        let v = [3.0, 6.0, 7.0, 8.0, 8.0, 10.0, 13.0, 15.0, 16.0, 20.0];
+        assert_eq!(quantile(&v, 0.25), 7.0); // rank ⌈2.5⌉ = 3
+        assert_eq!(quantile(&v, 0.50), 8.0); // rank 5
+        assert_eq!(quantile(&v, 0.75), 15.0); // rank 8
+        assert_eq!(quantile(&v, 1.00), 20.0); // rank 10
+    }
+
+    #[test]
+    fn quantile_singleton_and_empty() {
+        assert_eq!(quantile(&[42.0], 0.01), 42.0);
+        assert_eq!(quantile(&[42.0], 0.99), 42.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(quantile(&v, 0.5), 5.0); // rank ⌈2.5⌉ = 3 of sorted
+        assert_eq!(quantile(&v, 0.2), 1.0); // rank ⌈1.0⌉ = 1
+    }
+
+    #[test]
+    fn quantile_ignores_non_finite() {
+        let v = [f64::NAN, 2.0, f64::INFINITY, 1.0, 3.0];
+        assert_eq!(quantile(&v, 0.5), 2.0);
+    }
+
+    #[test]
+    fn percentile_shorthands() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p50(&v), 50.0);
+        assert_eq!(p95(&v), 95.0);
+        assert_eq!(p99(&v), 99.0);
+        // 200 equal observations with one outlier: p99 still the bulk.
+        let mut w = vec![5.0; 200];
+        w.push(1_000.0);
+        assert_eq!(p99(&w), 5.0);
+    }
+
+    #[test]
+    fn p50_is_lower_middle_on_even_counts() {
+        // Nearest rank never interpolates; median() does.
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(p50(&v), 2.0);
+        assert_eq!(median(&v), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must lie in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
 
     #[test]
     fn empty_stats_are_zeroed() {

@@ -54,6 +54,7 @@ pub use abs_coherence as coherence;
 pub use abs_core as core;
 pub use abs_exec as exec;
 pub use abs_lint as lint;
+pub use abs_load as load;
 pub use abs_model as model;
 pub use abs_net as net;
 pub use abs_obs as obs;

@@ -122,8 +122,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_a_path_based_workspace_crate() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 11,
-        "expected the root and at least ten crates, found {}",
+        manifests.len() >= 12,
+        "expected the root and at least eleven crates, found {}",
         manifests.len()
     );
 
@@ -183,9 +183,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
             }
         }
     }
-    // All ten library crates (including `abs-lint`) are reachable by
-    // path from the root manifest.
-    assert_eq!(seen.len(), 10, "expected 10 distinct path targets: {seen:?}");
+    // All eleven library crates (including `abs-lint` and `abs-load`) are
+    // reachable by path from the root manifest.
+    assert_eq!(seen.len(), 11, "expected 11 distinct path targets: {seen:?}");
     assert!(
         seen.iter().any(|p| p.ends_with("crates/exec")),
         "abs-exec must be registered as a path dependency: {seen:?}"
@@ -197,5 +197,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
     assert!(
         seen.iter().any(|p| p.ends_with("crates/lint")),
         "abs-lint must be registered as a path dependency: {seen:?}"
+    );
+    assert!(
+        seen.iter().any(|p| p.ends_with("crates/load")),
+        "abs-load must be registered as a path dependency: {seen:?}"
     );
 }
