@@ -3,10 +3,12 @@
 //! Measures one simulator episode (barrier, combining tree, resource,
 //! packet or circuit network) per iteration under each kernel
 //! and emits, besides the standard `bench_kernel.{json,csv}` reports, a
-//! machine-readable speedup table `repro_out/BENCH_kernel.json`
+//! machine-readable speedup table `repro_out/bench_kernel_speedup.json`
 //! (`ABS_BENCH_OUT` overrides the directory) — one row per sweep point
-//! with the median ns per episode under each kernel and the ratio. CI
-//! uploads this file; EXPERIMENTS.md cites it.
+//! with the median and MAD ns per episode under each kernel and the
+//! ratio. CI uploads this file, `repro sentinel` compares it against the
+//! committed baseline under `repro_out/baselines/`, and EXPERIMENTS.md
+//! cites it.
 //!
 //! The two kernels are bit-identical (enforced by the `kernel_equivalence`
 //! suite), so every row is the same computation twice — the ratio is pure
@@ -161,27 +163,31 @@ fn main() {
         group.finish();
     }
 
-    // Fold the per-kernel medians into the speedup table before `finish`
-    // consumes the runner.
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    // Fold the per-kernel medians (and MADs, which `repro sentinel` uses
+    // to widen its tolerance on noisy points) into the speedup table
+    // before `finish` consumes the runner.
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for point in &points {
         let find = |id: &str| {
             bench
                 .reports()
                 .iter()
                 .find(|r| r.group == point.name && r.id == id)
-                .map(|r| r.median_ns)
+                .map(|r| (r.median_ns, r.mad_ns))
                 .expect("both kernels were measured")
         };
-        rows.push((point.name.to_string(), find("cycle"), find("event")));
+        let (cycle_ns, cycle_mad_ns) = find("cycle");
+        let (event_ns, event_mad_ns) = find("event");
+        rows.push((point.name.to_string(), cycle_ns, cycle_mad_ns, event_ns, event_mad_ns));
     }
 
     let mut json = String::from("{\n  \"runner\": \"kernel_speedup\",\n  \"points\": [\n");
-    for (i, (name, cycle_ns, event_ns)) in rows.iter().enumerate() {
+    for (i, (name, cycle_ns, cycle_mad_ns, event_ns, event_mad_ns)) in rows.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"point\": \"{name}\", \"cycle_ns\": {cycle_ns:.1}, \
-             \"event_ns\": {event_ns:.1}, \"speedup\": {:.2}}}",
+             \"cycle_mad_ns\": {cycle_mad_ns:.1}, \"event_ns\": {event_ns:.1}, \
+             \"event_mad_ns\": {event_mad_ns:.1}, \"speedup\": {:.2}}}",
             cycle_ns / event_ns
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -192,11 +198,14 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../repro_out"));
     if let Err(e) = fs::create_dir_all(&dir).and_then(|()| {
-        fs::write(dir.join("BENCH_kernel.json"), &json)
+        fs::write(dir.join("bench_kernel_speedup.json"), &json)
     }) {
-        eprintln!("kernel: cannot write BENCH_kernel.json to {}: {e}", dir.display());
+        eprintln!(
+            "kernel: cannot write bench_kernel_speedup.json to {}: {e}",
+            dir.display()
+        );
     } else {
-        eprintln!("kernel: wrote {}/BENCH_kernel.json", dir.display());
+        eprintln!("kernel: wrote {}/bench_kernel_speedup.json", dir.display());
     }
     print!("{json}");
 

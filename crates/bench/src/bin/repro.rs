@@ -11,6 +11,8 @@
 //! cargo run -p abs-bench --release --bin repro -- --kernel cycle fig7
 //! cargo run -p abs-bench --release --bin repro -- --list
 //! cargo run -p abs-bench --release --bin repro -- lint --json
+//! cargo run -p abs-bench --release --bin repro -- analyze repro_out/t.json
+//! cargo run -p abs-bench --release --bin repro -- sentinel --json
 //! ```
 //!
 //! `--kernel` selects the simulation kernel: `event` (default) is the
@@ -34,6 +36,13 @@
 //! simulated-clock lanes (one process per traced episode, deterministic
 //! for the seed at any `--jobs` count) plus wall-clock worker lanes under
 //! pid 0. `--metrics` prints a metrics snapshot of the run to stdout.
+//!
+//! `repro analyze <trace.json>` replays the abs-insight passes over such a
+//! trace: cycle attribution (with the conservation invariant), barrier
+//! episode extraction, and per-tenant SLO timelines. `repro sentinel`
+//! compares a fresh `repro_out/bench_kernel_speedup.json` (written by
+//! `cargo bench --bench kernel_speedup`) against the committed baseline
+//! under `repro_out/baselines/` and exits 1 on regression.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -65,7 +74,139 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Parsed::Lint { json } => lint(json),
+        Parsed::Analyze { file, json } => analyze(&file, json),
+        Parsed::Sentinel {
+            baseline,
+            fresh,
+            tolerance,
+            json,
+        } => sentinel(baseline, fresh, tolerance, json),
         Parsed::Run(options) => run(options),
+    }
+}
+
+/// `repro analyze <trace.json> [--json]`: the abs-insight passes over a
+/// `--trace` file. Exit code: 0 analyzed cleanly, 1 conservation violated
+/// or no unit analyzable, 2 unreadable input.
+fn analyze(file: &std::path::Path, json: bool) -> ExitCode {
+    let text = match fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("repro analyze: cannot read {}: {e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match abs_exec::json::Value::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("repro analyze: {} is not valid JSON: {e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let units = match abs_insight::import::import_chrome(&doc) {
+        Ok(units) => units,
+        Err(e) => {
+            eprintln!("repro analyze: {}: {e}", file.display());
+            return ExitCode::from(2);
+        }
+    };
+    let analyses = abs_insight::analyze::analyze_units(&units);
+    print!("{}", abs_insight::analyze::render_text(&analyses));
+    if json {
+        let stem = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace");
+        let out_dir = default_out_dir();
+        let path = out_dir.join(format!("analysis_{stem}.json"));
+        let report = abs_insight::analyze::render_json(&analyses);
+        if let Err(e) = fs::create_dir_all(&out_dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                fs::write(&path, report.render_pretty()).map_err(|e| e.to_string())
+            })
+        {
+            eprintln!("repro analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if !abs_insight::analyze::conserved(&analyses) {
+        eprintln!("repro analyze: cycle attribution violated conservation");
+        return ExitCode::FAILURE;
+    }
+    if analyses.iter().all(|a| a.result.is_err()) {
+        eprintln!("repro analyze: no analyzable unit in {}", file.display());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro sentinel`: compare fresh kernel-speedup medians against the
+/// committed baseline. Exit code: 0 clean, 1 regression, 2 unreadable
+/// input.
+fn sentinel(
+    baseline: Option<PathBuf>,
+    fresh: Option<PathBuf>,
+    tolerance: Option<f64>,
+    json: bool,
+) -> ExitCode {
+    let out_dir = default_out_dir();
+    let baseline_path =
+        baseline.unwrap_or_else(|| out_dir.join("baselines/bench_kernel_speedup.json"));
+    // The pre-rename artifact is accepted as a fallback so a stale working
+    // tree still gets a verdict, with a nudge toward the canonical name.
+    let fresh_path = fresh.unwrap_or_else(|| {
+        let canonical = out_dir.join("bench_kernel_speedup.json");
+        let legacy = out_dir.join("BENCH_kernel.json");
+        if !canonical.exists() && legacy.exists() {
+            eprintln!(
+                "repro sentinel: {} not found; falling back to legacy {} — rerun \
+                 `cargo bench --bench kernel_speedup` to regenerate the canonical name",
+                canonical.display(),
+                legacy.display()
+            );
+            legacy
+        } else {
+            canonical
+        }
+    });
+    let load = |path: &std::path::Path| -> Result<Vec<abs_insight::sentinel::SpeedupPoint>, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        abs_insight::sentinel::parse_speedup(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (base, fresh) = match (load(&baseline_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("repro sentinel: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut config = abs_insight::sentinel::SentinelConfig::default();
+    if let Some(t) = tolerance {
+        config.rel_tol = t;
+    }
+    let report = abs_insight::sentinel::compare(&base, &fresh, &config);
+    print!("{}", report.to_text());
+    if json {
+        let path = out_dir.join("sentinel_report.json");
+        if let Err(e) = fs::create_dir_all(&out_dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                fs::write(&path, report.to_json().render_pretty()).map_err(|e| e.to_string())
+            })
+        {
+            eprintln!("repro sentinel: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

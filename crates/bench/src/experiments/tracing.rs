@@ -23,10 +23,17 @@ use crate::ReproConfig;
 /// analytic models) return no units.
 pub fn sim_trace(id: &str, config: &ReproConfig) -> Vec<(String, Vec<Event>)> {
     match id {
-        // Figure 4 compares arrival spans under no backoff.
+        // Figure 4 compares arrival spans under no backoff, plus one
+        // exp-8 contrast at the acceptance point (A=1000) so `repro
+        // analyze` can attribute the spin-poll → backoff-wait conversion.
         "fig4" => [0u64, 100, 1000]
             .iter()
             .map(|&a| barrier_unit(a, BackoffPolicy::None, config))
+            .chain(std::iter::once(barrier_unit(
+                1000,
+                BackoffPolicy::exponential(8),
+                config,
+            )))
             .collect(),
         // Figures 5–10 compare policies at one arrival span each.
         "fig5" | "fig8" => policy_units(0, config),
@@ -123,7 +130,7 @@ mod tests {
     #[test]
     fn traced_exhibits_yield_units() {
         let config = ReproConfig::quick();
-        assert_eq!(sim_trace("fig4", &config).len(), 3);
+        assert_eq!(sim_trace("fig4", &config).len(), 4);
         assert_eq!(sim_trace("fig7", &config).len(), 5);
         assert_eq!(sim_trace("netback", &config).len(), 2);
         assert_eq!(sim_trace("loadsweep", &config).len(), 5);

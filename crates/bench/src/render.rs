@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn traced_fig4_assembles_into_valid_trace() {
         let r = render_one("fig4", &ReproConfig::quick(), true);
-        assert_eq!(r.trace.len(), 3);
+        assert_eq!(r.trace.len(), 4);
         let trace = assemble_sim_trace(r.trace);
         let doc = trace.to_value();
         validate(&doc).unwrap();

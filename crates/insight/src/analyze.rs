@@ -1,0 +1,213 @@
+//! The `repro analyze` pass: runs every analysis a unit supports and
+//! renders the combined report as text or JSON.
+//!
+//! Barrier units get cycle attribution plus episode/critical-path
+//! extraction; open-loop units get cycle attribution plus the per-tenant
+//! SLO timeline. Units the passes cannot interpret (e.g. packet-network
+//! traces, which have counter lanes but no processor occupancy spans)
+//! carry their error message instead of a report — one odd unit never
+//! hides the others.
+
+use abs_exec::json::Value;
+use abs_obs::trace::Event;
+
+use crate::attribution::{attribute, Attribution, Options, UnitKind};
+use crate::episodes::{episode, Episode};
+use crate::slo::{slo_timeline, SloTimeline};
+
+/// Heatmap width in columns.
+const HEATMAP_WIDTH: usize = 64;
+/// Most lanes a heatmap or per-processor table draws before eliding.
+const MAX_RENDERED_LANES: usize = 16;
+/// Default SLO timeline window count.
+pub const SLO_WINDOWS: usize = 8;
+
+/// Every analysis one unit supports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitReport {
+    /// The cycle-attribution report (always present).
+    pub attribution: Attribution,
+    /// Episode extraction, for barrier units.
+    pub episode: Option<Episode>,
+    /// The SLO timeline, for open-loop units.
+    pub slo: Option<SloTimeline>,
+}
+
+/// One unit's analysis outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitAnalysis {
+    /// The unit name (from the trace's process metadata).
+    pub unit: String,
+    /// The report, or why the unit could not be analyzed.
+    pub result: Result<UnitReport, String>,
+}
+
+/// Analyzes one unit's events.
+///
+/// # Errors
+///
+/// Returns a message when the unit is not attributable (see
+/// [`crate::attribution::attribute`]).
+pub fn analyze_unit(events: &[Event], opts: &Options) -> Result<UnitReport, String> {
+    let attribution = attribute(events, opts)?;
+    let (episode, slo) = match attribution.kind {
+        UnitKind::Barrier => (Some(episode(events)?), None),
+        UnitKind::OpenLoop => (None, Some(slo_timeline(events, SLO_WINDOWS)?)),
+    };
+    Ok(UnitReport {
+        attribution,
+        episode,
+        slo,
+    })
+}
+
+/// Analyzes every unit of a trace, carrying per-unit errors.
+pub fn analyze_units(units: &[(String, Vec<Event>)]) -> Vec<UnitAnalysis> {
+    units
+        .iter()
+        .map(|(unit, events)| UnitAnalysis {
+            unit: unit.clone(),
+            result: analyze_unit(events, &Options::default()),
+        })
+        .collect()
+}
+
+/// Whether every analyzed unit satisfied the conservation invariant
+/// (units that could not be analyzed at all do not count against it).
+pub fn conserved(analyses: &[UnitAnalysis]) -> bool {
+    analyses
+        .iter()
+        .filter_map(|a| a.result.as_ref().ok())
+        .all(|r| r.attribution.conserved())
+}
+
+/// Renders the full text report.
+pub fn render_text(analyses: &[UnitAnalysis]) -> String {
+    let mut out = String::new();
+    for analysis in analyses {
+        out.push_str(&format!("== {} ==\n", analysis.unit));
+        match &analysis.result {
+            Err(err) => out.push_str(&format!("not analyzable: {err}\n\n")),
+            Ok(report) => {
+                out.push_str(&report.attribution.to_table().to_string());
+                out.push_str(
+                    &report
+                        .attribution
+                        .heatmap(HEATMAP_WIDTH, MAX_RENDERED_LANES),
+                );
+                if let Some(episode) = &report.episode {
+                    out.push_str(&episode.summary());
+                    out.push('\n');
+                }
+                if let Some(slo) = &report.slo {
+                    out.push_str(&slo.to_table().to_string());
+                    out.push_str(&slo.sparklines());
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Renders the full report as a JSON value (deterministic key order).
+pub fn render_json(analyses: &[UnitAnalysis]) -> Value {
+    Value::Obj(vec![
+        ("conserved".to_string(), Value::Bool(conserved(analyses))),
+        (
+            "units".to_string(),
+            Value::Arr(
+                analyses
+                    .iter()
+                    .map(|analysis| {
+                        let mut fields = vec![(
+                            "unit".to_string(),
+                            Value::Str(analysis.unit.clone()),
+                        )];
+                        match &analysis.result {
+                            Err(err) => {
+                                fields.push(("error".to_string(), Value::Str(err.clone())))
+                            }
+                            Ok(report) => {
+                                fields.push((
+                                    "attribution".to_string(),
+                                    report.attribution.to_json(),
+                                ));
+                                if let Some(episode) = &report.episode {
+                                    fields.push(("episode".to_string(), episode.to_json()));
+                                }
+                                if let Some(slo) = &report.slo {
+                                    fields.push(("slo".to_string(), slo.to_json()));
+                                }
+                            }
+                        }
+                        Value::Obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_obs::trace::{Ring, TraceSink};
+
+    fn units() -> Vec<(String, Vec<Event>)> {
+        let mut barrier = Ring::new(64);
+        barrier.span_begin(0, 0, "barrier", &[]);
+        barrier.span_begin(0, 0, "var", &[]);
+        barrier.span_end(0, 1, "var", &[("accesses", 1.0), ("count", 1.0)]);
+        barrier.span_begin(0, 2, "flag-write", &[]);
+        barrier.span_end(0, 3, "flag-write", &[]);
+        barrier.instant(0, 3, "flag-set", &[]);
+        barrier.span_end(0, 5, "barrier", &[]);
+        let mut load = Ring::new(64);
+        load.instant(0, 0, "admit", &[("tenant", 0.0), ("wait", 0.0)]);
+        load.span_begin(0, 0, "faa", &[("tenant", 0.0)]);
+        load.instant(0, 0, "sync-win", &[("attempts", 0.0)]);
+        load.span_end(0, 4, "faa", &[]);
+        let mut opaque = Ring::new(8);
+        opaque.counter(0, 0, "hot_queue", &[("depth", 1.0)]);
+        vec![
+            ("barrier unit".to_string(), barrier.into_events()),
+            ("load unit".to_string(), load.into_events()),
+            ("packet unit".to_string(), opaque.into_events()),
+        ]
+    }
+
+    #[test]
+    fn analyzes_mixed_units_and_carries_errors() {
+        let analyses = analyze_units(&units());
+        assert_eq!(analyses.len(), 3);
+        let barrier = analyses[0].result.as_ref().unwrap();
+        assert!(barrier.episode.is_some() && barrier.slo.is_none());
+        let load = analyses[1].result.as_ref().unwrap();
+        assert!(load.episode.is_none() && load.slo.is_some());
+        assert!(analyses[2].result.is_err());
+        assert!(conserved(&analyses));
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let analyses = analyze_units(&units());
+        let text = render_text(&analyses);
+        assert!(text.contains("== barrier unit =="));
+        assert!(text.contains("cycle attribution"));
+        assert!(text.contains("episode:"));
+        assert!(text.contains("per-tenant SLO"));
+        assert!(text.contains("not analyzable"));
+        let json = render_json(&analyses).render_pretty();
+        assert!(json.contains("\"attribution\""));
+        assert!(json.contains("\"slo\""));
+        assert!(json.contains("\"error\""));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_json(&analyze_units(&units())).render_pretty();
+        let b = render_json(&analyze_units(&units())).render_pretty();
+        assert_eq!(a, b);
+    }
+}

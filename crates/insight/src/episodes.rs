@@ -1,0 +1,356 @@
+//! Barrier episode extraction: which processor's arrival/wakeup chain
+//! bounded the episode, and how barrier durations distribute.
+//!
+//! A traced `BarrierSim` unit is one episode: every processor arrives
+//! (opens its `barrier` span), increments the counter (its `var` span),
+//! and the last arriver — the *setter* — writes the release flag (its
+//! `flag-write` span, then the `flag-set` instant). The episode's critical
+//! path is therefore the setter's chain:
+//!
+//! ```text
+//! setter arrival ──var stall──▶ counter win ──flag-write stall──▶
+//! flag set ──wake/poll tail──▶ episode completion
+//! ```
+//!
+//! Everything here is read back from the spans [`crate::attribution`]
+//! pairs; per-processor barrier durations feed `abs_sim::stats` quantiles.
+
+use abs_exec::json::Value;
+use abs_obs::trace::Event;
+use abs_sim::stats;
+use abs_sim::table::{fmt_f64, Table};
+
+use crate::attribution::pair_lanes;
+
+/// A processor's arrival at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// The processor (trace `tid`).
+    pub proc: u32,
+    /// Arrival cycle (the `barrier` span Begin).
+    pub ts: u64,
+}
+
+/// The critical path of one barrier episode: the setter's chain from
+/// arrival to episode completion, in cycles per stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The setter's arrival cycle.
+    pub arrival: u64,
+    /// Cycles the setter's counter increment waited for arbitration
+    /// (its `var` span, closed — includes the serve cycle).
+    pub var_stall: u64,
+    /// Cycles from the counter win to the flag write landing.
+    pub flag_stall: u64,
+    /// Cycles from flag set to the last processor leaving the barrier
+    /// (wake-up latency and final polls).
+    pub tail: u64,
+}
+
+/// One extracted barrier episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Number of participating processors (lanes with a `barrier` span).
+    pub procs: usize,
+    /// Earliest arrival.
+    pub first_arrival: Arrival,
+    /// Latest arrival (ties break toward the lower processor id).
+    pub last_arrival: Arrival,
+    /// The processor whose counter increment saw the full count and
+    /// therefore wrote the release flag.
+    pub setter: u32,
+    /// Cycle the release flag was set.
+    pub flag_set_at: u64,
+    /// Cycle the last processor left the barrier.
+    pub completion: u64,
+    /// The last processor to leave.
+    pub last_finisher: u32,
+    /// Processors that parked (gave up polling) before release.
+    pub parked: usize,
+    /// Per-processor barrier residency in cycles (arrival through exit).
+    pub durations: Vec<f64>,
+    /// The setter's bounding chain.
+    pub critical: CriticalPath,
+}
+
+impl Episode {
+    /// Median barrier residency.
+    pub fn p50(&self) -> f64 {
+        stats::p50(&self.durations)
+    }
+
+    /// 95th-percentile barrier residency.
+    pub fn p95(&self) -> f64 {
+        stats::p95(&self.durations)
+    }
+
+    /// 99th-percentile barrier residency.
+    pub fn p99(&self) -> f64 {
+        stats::p99(&self.durations)
+    }
+
+    /// A two-line text summary of the episode and its critical path.
+    pub fn summary(&self) -> String {
+        format!(
+            "episode: {} procs, arrivals {}..{} (last p{}), flag set @{} by p{}, \
+             done @{} (last p{}), {} parked\n\
+             critical path: p{} arrival @{} + var stall {} + flag stall {} + tail {} \
+             = completion @{}; residency p50/p95/p99 = {}/{}/{}",
+            self.procs,
+            self.first_arrival.ts,
+            self.last_arrival.ts,
+            self.last_arrival.proc,
+            self.flag_set_at,
+            self.setter,
+            self.completion,
+            self.last_finisher,
+            self.parked,
+            self.setter,
+            self.critical.arrival,
+            self.critical.var_stall,
+            self.critical.flag_stall,
+            self.critical.tail,
+            self.completion,
+            fmt_f64(self.p50(), 1),
+            fmt_f64(self.p95(), 1),
+            fmt_f64(self.p99(), 1),
+        )
+    }
+
+    /// The episode as a one-row table (stacked exhibits append more rows).
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "procs",
+            "last arrival",
+            "setter",
+            "flag set",
+            "completion",
+            "parked",
+            "p50",
+            "p95",
+            "p99",
+        ])
+        .with_title("barrier episode");
+        table.add_row(vec![
+            self.procs.to_string(),
+            format!("p{}@{}", self.last_arrival.proc, self.last_arrival.ts),
+            format!("p{}", self.setter),
+            self.flag_set_at.to_string(),
+            self.completion.to_string(),
+            self.parked.to_string(),
+            fmt_f64(self.p50(), 1),
+            fmt_f64(self.p95(), 1),
+            fmt_f64(self.p99(), 1),
+        ]);
+        table
+    }
+
+    /// The episode as a JSON value (deterministic key order).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("procs".to_string(), Value::Num(self.procs as f64)),
+            (
+                "first_arrival".to_string(),
+                arrival_json(self.first_arrival),
+            ),
+            ("last_arrival".to_string(), arrival_json(self.last_arrival)),
+            ("setter".to_string(), Value::Num(self.setter as f64)),
+            ("flag_set_at".to_string(), Value::Num(self.flag_set_at as f64)),
+            ("completion".to_string(), Value::Num(self.completion as f64)),
+            (
+                "last_finisher".to_string(),
+                Value::Num(self.last_finisher as f64),
+            ),
+            ("parked".to_string(), Value::Num(self.parked as f64)),
+            (
+                "residency".to_string(),
+                Value::Obj(vec![
+                    ("p50".to_string(), Value::Num(self.p50())),
+                    ("p95".to_string(), Value::Num(self.p95())),
+                    ("p99".to_string(), Value::Num(self.p99())),
+                ]),
+            ),
+            (
+                "critical_path".to_string(),
+                Value::Obj(vec![
+                    (
+                        "arrival".to_string(),
+                        Value::Num(self.critical.arrival as f64),
+                    ),
+                    (
+                        "var_stall".to_string(),
+                        Value::Num(self.critical.var_stall as f64),
+                    ),
+                    (
+                        "flag_stall".to_string(),
+                        Value::Num(self.critical.flag_stall as f64),
+                    ),
+                    ("tail".to_string(), Value::Num(self.critical.tail as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn arrival_json(a: Arrival) -> Value {
+    Value::Obj(vec![
+        ("proc".to_string(), Value::Num(a.proc as f64)),
+        ("ts".to_string(), Value::Num(a.ts as f64)),
+    ])
+}
+
+/// Extracts the barrier episode from one traced unit's events.
+///
+/// # Errors
+///
+/// Returns a message when the unit has no `barrier` spans, unbalanced
+/// spans, or no identifiable setter (`flag-set` instant).
+pub fn episode(events: &[Event]) -> Result<Episode, String> {
+    let lanes = pair_lanes(events)?;
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let mut exits: Vec<Arrival> = Vec::new();
+    let mut durations = Vec::new();
+    let mut parked = 0usize;
+    let mut setter: Option<(u32, u64)> = None;
+    for (&tid, lane) in &lanes {
+        for span in lane.spans.iter().filter(|s| s.name == "barrier") {
+            arrivals.push(Arrival {
+                proc: tid,
+                ts: span.begin,
+            });
+            exits.push(Arrival {
+                proc: tid,
+                ts: span.end,
+            });
+            durations.push((span.end - span.begin + 1) as f64);
+        }
+        parked += lane.markers.iter().filter(|m| m.name == "park").count();
+        if let Some(m) = lane.markers.iter().find(|m| m.name == "flag-set") {
+            setter = Some((tid, m.ts));
+        }
+    }
+    if arrivals.is_empty() {
+        return Err("no barrier spans in unit".to_string());
+    }
+    let (setter, flag_set_at) =
+        setter.ok_or("no flag-set instant in unit (not a complete barrier episode?)")?;
+    // min_by_key/max_by_key tie-break: first (lowest proc) for min, last
+    // for max — force the lowest proc on ties explicitly.
+    let first_arrival = arrivals
+        .iter()
+        .copied()
+        .min_by_key(|a| (a.ts, a.proc))
+        .unwrap_or(arrivals[0]);
+    let last_arrival = arrivals
+        .iter()
+        .copied()
+        .max_by_key(|a| (a.ts, u32::MAX - a.proc))
+        .unwrap_or(arrivals[0]);
+    let finish = exits
+        .iter()
+        .copied()
+        .max_by_key(|a| (a.ts, u32::MAX - a.proc))
+        .unwrap_or(exits[0]);
+    let setter_lane = lanes.get(&setter).ok_or("setter lane missing")?;
+    let setter_arrival = setter_lane
+        .spans
+        .iter()
+        .find(|s| s.name == "barrier")
+        .map(|s| s.begin)
+        .ok_or("setter has no barrier span")?;
+    let var_win = setter_lane
+        .spans
+        .iter()
+        .find(|s| s.name == "var")
+        .map(|s| s.end)
+        .unwrap_or(setter_arrival);
+    Ok(Episode {
+        procs: arrivals.len(),
+        first_arrival,
+        last_arrival,
+        setter,
+        flag_set_at,
+        completion: finish.ts,
+        last_finisher: finish.proc,
+        parked,
+        durations,
+        critical: CriticalPath {
+            arrival: setter_arrival,
+            var_stall: var_win - setter_arrival + 1,
+            flag_stall: flag_set_at.saturating_sub(var_win),
+            tail: finish.ts.saturating_sub(flag_set_at),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_obs::trace::{Ring, TraceSink};
+
+    fn two_proc_episode() -> Vec<Event> {
+        let mut ring = Ring::new(64);
+        ring.span_begin(0, 10, "barrier", &[]);
+        ring.span_begin(0, 10, "var", &[]);
+        ring.span_end(0, 12, "var", &[("accesses", 1.0), ("count", 1.0)]);
+        ring.instant(0, 20, "park", &[]);
+        ring.instant(0, 30, "wake", &[]);
+        ring.span_end(0, 30, "barrier", &[]);
+        ring.span_begin(1, 15, "barrier", &[]);
+        ring.span_begin(1, 15, "var", &[]);
+        ring.span_end(1, 16, "var", &[("accesses", 1.0), ("count", 2.0)]);
+        ring.span_begin(1, 17, "flag-write", &[]);
+        ring.span_end(1, 19, "flag-write", &[]);
+        ring.instant(1, 19, "flag-set", &[]);
+        ring.span_end(1, 28, "barrier", &[]);
+        ring.into_events()
+    }
+
+    #[test]
+    fn extracts_episode_structure() {
+        let ep = episode(&two_proc_episode()).unwrap();
+        assert_eq!(ep.procs, 2);
+        assert_eq!(ep.first_arrival, Arrival { proc: 0, ts: 10 });
+        assert_eq!(ep.last_arrival, Arrival { proc: 1, ts: 15 });
+        assert_eq!(ep.setter, 1);
+        assert_eq!(ep.flag_set_at, 19);
+        assert_eq!(ep.completion, 30);
+        assert_eq!(ep.last_finisher, 0);
+        assert_eq!(ep.parked, 1);
+        assert_eq!(ep.critical.arrival, 15);
+        assert_eq!(ep.critical.var_stall, 2); // var [15,16] closed
+        assert_eq!(ep.critical.flag_stall, 3); // 16 -> 19
+        assert_eq!(ep.critical.tail, 11); // 19 -> 30
+        // Residency: p0 = 21, p1 = 14; nearest-rank p50 of two is the lower.
+        assert_eq!(ep.p50(), 14.0);
+        assert_eq!(ep.p99(), 21.0);
+    }
+
+    #[test]
+    fn renders() {
+        let ep = episode(&two_proc_episode()).unwrap();
+        assert!(ep.summary().contains("flag set @19 by p1"));
+        assert!(ep.to_table().to_string().contains("p1@15"));
+        assert!(ep.to_json().render().contains("critical_path"));
+    }
+
+    #[test]
+    fn missing_flag_set_is_rejected() {
+        let mut ring = Ring::new(8);
+        ring.span_begin(0, 0, "barrier", &[]);
+        ring.span_end(0, 5, "barrier", &[]);
+        assert!(episode(&ring.into_events())
+            .unwrap_err()
+            .contains("flag-set"));
+    }
+
+    #[test]
+    fn non_barrier_unit_is_rejected() {
+        let mut ring = Ring::new(8);
+        ring.span_begin(0, 0, "faa", &[]);
+        ring.span_end(0, 5, "faa", &[]);
+        assert!(episode(&ring.into_events())
+            .unwrap_err()
+            .contains("no barrier spans"));
+    }
+}

@@ -1,0 +1,501 @@
+//! The perf-regression sentinel: compares a fresh kernel-speedup table
+//! against a committed baseline with median/MAD-based tolerances.
+//!
+//! Both sides are `repro_out/bench_kernel_speedup.json` artifacts written
+//! by `benches/kernel_speedup.rs`: per acceptance point, the median and
+//! median-absolute-deviation wall time of the cycle-stepper oracle and the
+//! event kernel. Absolute nanoseconds are not portable across hosts, so
+//! the sentinel compares the dimensionless **speedup ratio**
+//! (`cycle_ns / event_ns`): a point regresses when
+//!
+//! ```text
+//! fresh_speedup < baseline_speedup × (1 − tol)
+//! tol = max(rel_tol, noise_mult × noise)
+//! noise = √( Σ (mad/median)² over both sides' cycle and event columns )
+//! ```
+//!
+//! i.e. the configured relative tolerance, widened when either measurement
+//! was noisy. Baseline points missing from the fresh table count as
+//! regressions; fresh-only points are reported as additions but never fail.
+//!
+//! Per-point tolerances alone would let a *uniform* slowdown hide inside
+//! each point's noise band, so the report also holds the **median delta**
+//! across all measured points (at least [`AGGREGATE_MIN_POINTS`] of them)
+//! to `rel_tol` with no noise widening: the median of a fleet shifting
+//! together is far less noisy than any single point.
+
+use abs_exec::json::Value;
+use abs_sim::stats::median;
+use abs_sim::table::{fmt_f64, fmt_percent, Table};
+
+/// Fewest measured points for the aggregate median-delta check to apply
+/// (below this, a median is no steadier than the points themselves).
+pub const AGGREGATE_MIN_POINTS: usize = 3;
+
+/// One row of a kernel-speedup artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupPoint {
+    /// The acceptance-point label (e.g. `barrier N=512 A=1000 exp-8`).
+    pub point: String,
+    /// Median wall time of the cycle-stepper oracle, nanoseconds.
+    pub cycle_ns: f64,
+    /// MAD of the cycle-stepper samples (0 for legacy artifacts).
+    pub cycle_mad_ns: f64,
+    /// Median wall time of the event kernel, nanoseconds.
+    pub event_ns: f64,
+    /// MAD of the event-kernel samples (0 for legacy artifacts).
+    pub event_mad_ns: f64,
+}
+
+impl SpeedupPoint {
+    /// The dimensionless speedup ratio the sentinel compares.
+    pub fn speedup(&self) -> f64 {
+        self.cycle_ns / self.event_ns
+    }
+
+    /// Relative measurement noise: `√((cycle_mad/cycle)² + (event_mad/event)²)`.
+    pub fn rel_noise(&self) -> f64 {
+        let c = self.cycle_mad_ns / self.cycle_ns;
+        let e = self.event_mad_ns / self.event_ns;
+        (c * c + e * e).sqrt()
+    }
+}
+
+/// Parses a `bench_kernel_speedup.json` artifact (current or legacy
+/// `BENCH_kernel.json` schema — legacy rows lack the MAD columns, which
+/// default to 0).
+///
+/// # Errors
+///
+/// Returns a message when the document is not a kernel-speedup artifact
+/// or a row has non-positive medians.
+pub fn parse_speedup(text: &str) -> Result<Vec<SpeedupPoint>, String> {
+    let doc = Value::parse(text)?;
+    if doc.get("runner").and_then(Value::as_str) != Some("kernel_speedup") {
+        return Err("not a kernel-speedup artifact (runner != \"kernel_speedup\")".to_string());
+    }
+    let rows = doc
+        .get("points")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing points array".to_string())?;
+    let mut points = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| row.get(key).and_then(Value::as_f64);
+        let point = SpeedupPoint {
+            point: row
+                .get("point")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("point {i}: missing name"))?
+                .to_string(),
+            cycle_ns: field("cycle_ns").ok_or_else(|| format!("point {i}: missing cycle_ns"))?,
+            cycle_mad_ns: field("cycle_mad_ns").unwrap_or(0.0),
+            event_ns: field("event_ns").ok_or_else(|| format!("point {i}: missing event_ns"))?,
+            event_mad_ns: field("event_mad_ns").unwrap_or(0.0),
+        };
+        if point.cycle_ns <= 0.0 || point.event_ns <= 0.0 {
+            return Err(format!("point {i} ({}): non-positive median", point.point));
+        }
+        points.push(point);
+    }
+    Ok(points)
+}
+
+/// Sentinel tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Minimum relative speedup drop tolerated (0.15 = 15 %).
+    pub rel_tol: f64,
+    /// How many combined relative-MAD units of noise to tolerate beyond
+    /// `rel_tol`.
+    pub noise_mult: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            rel_tol: 0.15,
+            noise_mult: 3.0,
+        }
+    }
+}
+
+/// One compared point's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or faster).
+    Ok,
+    /// Speedup dropped below tolerance.
+    Regressed,
+    /// In the baseline but absent from the fresh table.
+    Missing,
+}
+
+impl Verdict {
+    /// Stable name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Missing => "MISSING",
+        }
+    }
+}
+
+/// One baseline point's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelRow {
+    /// The acceptance-point label.
+    pub point: String,
+    /// Baseline speedup ratio.
+    pub baseline: f64,
+    /// Fresh speedup ratio, when the point was measured.
+    pub fresh: Option<f64>,
+    /// Relative change `(fresh − baseline) / baseline`.
+    pub delta: f64,
+    /// The tolerance this row was held to.
+    pub tolerance: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The full sentinel comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentinelReport {
+    /// The tolerances used.
+    pub config: SentinelConfig,
+    /// One row per baseline point, baseline order.
+    pub rows: Vec<SentinelRow>,
+    /// Fresh points with no baseline (informational, never failures).
+    pub added: Vec<String>,
+}
+
+impl SentinelReport {
+    /// Number of regressed or missing points.
+    pub fn regressions(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict != Verdict::Ok)
+            .count()
+    }
+
+    /// Median relative delta across points measured on both sides.
+    pub fn median_delta(&self) -> Option<f64> {
+        let deltas: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.fresh.is_some())
+            .map(|r| r.delta)
+            .collect();
+        if deltas.is_empty() {
+            None
+        } else {
+            Some(median(&deltas))
+        }
+    }
+
+    /// Whether the fleet as a whole regressed: the median delta across at
+    /// least [`AGGREGATE_MIN_POINTS`] measured points dropped past
+    /// `rel_tol`. This catches a uniform slowdown that every individual
+    /// point's noise-widened tolerance would absorb.
+    pub fn aggregate_regressed(&self) -> bool {
+        let measured = self.rows.iter().filter(|r| r.fresh.is_some()).count();
+        measured >= AGGREGATE_MIN_POINTS
+            && self
+                .median_delta()
+                .is_some_and(|d| d < -self.config.rel_tol)
+    }
+
+    /// Whether every baseline point passed and the fleet median held.
+    pub fn is_clean(&self) -> bool {
+        self.regressions() == 0 && !self.aggregate_regressed()
+    }
+
+    /// The comparison table.
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "point", "baseline", "fresh", "delta", "tol", "verdict",
+        ])
+        .with_title(format!(
+            "perf sentinel (speedup ratios; rel_tol {}, noise x{})",
+            fmt_percent(self.config.rel_tol),
+            fmt_f64(self.config.noise_mult, 1)
+        ));
+        for row in &self.rows {
+            table.add_row(vec![
+                row.point.clone(),
+                format!("{}x", fmt_f64(row.baseline, 2)),
+                row.fresh
+                    .map_or("-".to_string(), |f| format!("{}x", fmt_f64(f, 2))),
+                fmt_percent(row.delta),
+                fmt_percent(row.tolerance),
+                row.verdict.name().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// The report as text: the table plus a one-line verdict.
+    pub fn to_text(&self) -> String {
+        let mut out = self.to_table().to_string();
+        for point in &self.added {
+            out.push_str(&format!("new point (no baseline): {point}\n"));
+        }
+        if let Some(delta) = self.median_delta() {
+            out.push_str(&format!(
+                "aggregate: median delta {} (threshold -{})\n",
+                fmt_percent(delta),
+                fmt_percent(self.config.rel_tol)
+            ));
+        }
+        if self.is_clean() {
+            out.push_str(&format!("sentinel: all {} points ok\n", self.rows.len()));
+        } else if self.regressions() > 0 {
+            out.push_str(&format!(
+                "sentinel: {} of {} points REGRESSED\n",
+                self.regressions(),
+                self.rows.len()
+            ));
+        } else {
+            out.push_str("sentinel: aggregate REGRESSED (uniform fleet slowdown)\n");
+        }
+        out
+    }
+
+    /// The report as a JSON value (deterministic key order).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("clean".to_string(), Value::Bool(self.is_clean())),
+            (
+                "regressions".to_string(),
+                Value::Num(self.regressions() as f64),
+            ),
+            ("rel_tol".to_string(), Value::Num(self.config.rel_tol)),
+            ("noise_mult".to_string(), Value::Num(self.config.noise_mult)),
+            (
+                "median_delta".to_string(),
+                self.median_delta().map_or(Value::Null, Value::Num),
+            ),
+            (
+                "aggregate_regressed".to_string(),
+                Value::Bool(self.aggregate_regressed()),
+            ),
+            (
+                "points".to_string(),
+                Value::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Value::Obj(vec![
+                                ("point".to_string(), Value::Str(row.point.clone())),
+                                ("baseline".to_string(), Value::Num(row.baseline)),
+                                (
+                                    "fresh".to_string(),
+                                    row.fresh.map_or(Value::Null, Value::Num),
+                                ),
+                                ("delta".to_string(), Value::Num(row.delta)),
+                                ("tolerance".to_string(), Value::Num(row.tolerance)),
+                                (
+                                    "verdict".to_string(),
+                                    Value::Str(row.verdict.name().to_string()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "added".to_string(),
+                Value::Arr(self.added.iter().cloned().map(Value::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Compares a fresh speedup table against the baseline.
+pub fn compare(
+    baseline: &[SpeedupPoint],
+    fresh: &[SpeedupPoint],
+    config: &SentinelConfig,
+) -> SentinelReport {
+    let rows = baseline
+        .iter()
+        .map(|base| {
+            let matched = fresh.iter().find(|f| f.point == base.point);
+            match matched {
+                None => SentinelRow {
+                    point: base.point.clone(),
+                    baseline: base.speedup(),
+                    fresh: None,
+                    delta: -1.0,
+                    tolerance: config.rel_tol,
+                    verdict: Verdict::Missing,
+                },
+                Some(f) => {
+                    let noise = (base.rel_noise().powi(2) + f.rel_noise().powi(2)).sqrt();
+                    let noise = if noise.is_finite() { noise } else { 0.0 };
+                    let tolerance = config.rel_tol.max(config.noise_mult * noise);
+                    let delta = (f.speedup() - base.speedup()) / base.speedup();
+                    let verdict = if f.speedup() < base.speedup() * (1.0 - tolerance) {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Ok
+                    };
+                    SentinelRow {
+                        point: base.point.clone(),
+                        baseline: base.speedup(),
+                        fresh: Some(f.speedup()),
+                        delta,
+                        tolerance,
+                        verdict,
+                    }
+                }
+            }
+        })
+        .collect();
+    let added = fresh
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b.point == f.point))
+        .map(|f| f.point.clone())
+        .collect();
+    SentinelReport {
+        config: *config,
+        rows,
+        added,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, cycle: f64, event: f64) -> SpeedupPoint {
+        SpeedupPoint {
+            point: name.to_string(),
+            cycle_ns: cycle,
+            cycle_mad_ns: cycle * 0.005,
+            event_ns: event,
+            event_mad_ns: event * 0.005,
+        }
+    }
+
+    #[test]
+    fn parses_current_and_legacy_schemas() {
+        let current = r#"{"runner": "kernel_speedup", "points": [
+            {"point": "a", "cycle_ns": 100.0, "cycle_mad_ns": 1.0,
+             "event_ns": 20.0, "event_mad_ns": 0.5, "speedup": 5.0}]}"#;
+        let points = parse_speedup(current).unwrap();
+        assert_eq!(points[0].speedup(), 5.0);
+        assert_eq!(points[0].cycle_mad_ns, 1.0);
+        let legacy = r#"{"runner": "kernel_speedup", "points": [
+            {"point": "a", "cycle_ns": 100.0, "event_ns": 25.0, "speedup": 4.0}]}"#;
+        let points = parse_speedup(legacy).unwrap();
+        assert_eq!(points[0].speedup(), 4.0);
+        assert_eq!(points[0].rel_noise(), 0.0);
+        assert!(parse_speedup(r#"{"runner": "other", "points": []}"#).is_err());
+        assert!(parse_speedup(
+            r#"{"runner": "kernel_speedup", "points": [{"point": "a", "cycle_ns": 0, "event_ns": 1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn clean_when_within_tolerance() {
+        let base = vec![point("a", 1000.0, 100.0), point("b", 500.0, 100.0)];
+        let fresh = vec![point("a", 950.0, 100.0), point("b", 520.0, 100.0)];
+        let report = compare(&base, &fresh, &SentinelConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.regressions(), 0);
+        assert!(report.to_text().contains("all 2 points ok"));
+    }
+
+    #[test]
+    fn flags_injected_20_percent_slowdown() {
+        let base = vec![point("a", 1000.0, 100.0)];
+        // The event kernel got 25 % slower: speedup 10x -> 8x, a 20 % drop.
+        let fresh = vec![point("a", 1000.0, 125.0)];
+        let report = compare(&base, &fresh, &SentinelConfig::default());
+        assert_eq!(report.regressions(), 1);
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert!(report.rows[0].delta < -0.15);
+        assert!(report.to_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_points_fail_added_points_do_not() {
+        let base = vec![point("a", 1000.0, 100.0)];
+        let fresh = vec![point("b", 1000.0, 100.0)];
+        let report = compare(&base, &fresh, &SentinelConfig::default());
+        assert_eq!(report.rows[0].verdict, Verdict::Missing);
+        assert!(!report.is_clean());
+        assert_eq!(report.added, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn noisy_measurements_widen_tolerance() {
+        let mut base = vec![point("a", 1000.0, 100.0)];
+        base[0].event_mad_ns = 10.0; // 10 % relative noise
+        let fresh = vec![point("a", 1000.0, 120.0)]; // 17 % speedup drop
+        let tight = compare(&base, &fresh, &SentinelConfig::default());
+        // noise x3 -> tolerance ~30 %, so the drop passes.
+        assert!(tight.is_clean());
+        let strict = compare(
+            &base,
+            &fresh,
+            &SentinelConfig {
+                rel_tol: 0.15,
+                noise_mult: 0.0,
+            },
+        );
+        assert!(!strict.is_clean());
+    }
+
+    #[test]
+    fn uniform_fleet_slowdown_fails_even_when_every_point_is_noisy() {
+        // Each point carries 10 % event-side noise, so its own tolerance
+        // (noise x3) swallows a 20 % speedup drop...
+        let base: Vec<SpeedupPoint> = (0..8)
+            .map(|i| {
+                let mut p = point(&format!("p{i}"), 1000.0, 100.0);
+                p.event_mad_ns = 10.0;
+                p
+            })
+            .collect();
+        let fresh: Vec<SpeedupPoint> = base
+            .iter()
+            .map(|b| {
+                let mut f = b.clone();
+                f.event_ns = 125.0;
+                f
+            })
+            .collect();
+        let report = compare(&base, &fresh, &SentinelConfig::default());
+        assert_eq!(report.regressions(), 0, "per-point tolerances absorb the drop");
+        // ...but all eight dropping together is a fleet regression.
+        assert!(report.aggregate_regressed());
+        assert!(!report.is_clean());
+        let text = report.to_text();
+        assert!(text.contains("aggregate REGRESSED"), "{text}");
+    }
+
+    #[test]
+    fn aggregate_check_needs_a_minimum_fleet() {
+        // A single noisy point past rel_tol but inside its noise band
+        // stays clean: no fleet, no aggregate verdict.
+        let mut base = vec![point("a", 1000.0, 100.0)];
+        base[0].event_mad_ns = 10.0;
+        let fresh = vec![point("a", 1000.0, 120.0)];
+        let report = compare(&base, &fresh, &SentinelConfig::default());
+        assert!(report.median_delta().unwrap() < -0.15);
+        assert!(!report.aggregate_regressed());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn json_renders_verdicts() {
+        let base = vec![point("a", 1000.0, 100.0)];
+        let report = compare(&base, &[], &SentinelConfig::default());
+        let json = report.to_json().render();
+        assert!(json.contains("MISSING"));
+        assert!(json.contains("\"clean\": false") || json.contains("\"clean\":false"));
+    }
+}

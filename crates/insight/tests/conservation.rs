@@ -1,0 +1,185 @@
+//! The attribution conservation law, as a property over the simulators.
+//!
+//! Cycle attribution is only trustworthy if it is *total*: every
+//! processor-cycle of the analysis window lands in exactly one bucket, so
+//! per-processor buckets sum to the window length and the aggregate to
+//! `cycles x procs`. These properties drive [`abs_insight::attribution`]
+//! over randomly configured [`BarrierSim`] and [`OpenLoopSim`] episodes
+//! under **both** kernels and check:
+//!
+//! * the conservation invariant itself (`Attribution::conserved`),
+//! * agreement with the engine's own accounting (the idle bucket equals
+//!   `idle_proc_cycles`, the rest equals `busy_proc_cycles`),
+//! * byte-identical analysis JSON across kernels (the analysis is a pure
+//!   function of the trace, and the kernels trace identically).
+//!
+//! Driven by the in-tree `forall!` framework: a failing case panics with
+//! the master seed; replay with `ABS_CHECK_SEED=<seed>`.
+
+use abs_core::{BackoffPolicy, BarrierConfig, BarrierSim};
+use abs_insight::analyze::analyze_unit;
+use abs_insight::attribution::{attribute, Bucket, Options, UnitKind};
+use abs_load::arrival::Arrival;
+use abs_load::engine::{LoadConfig, OpenLoopSim};
+use abs_load::tenant::{OpMix, Tenant};
+use abs_obs::trace::Ring;
+use abs_sim::check::{self, Config};
+use abs_sim::forall;
+use abs_sim::kernel::Kernel;
+use abs_trace::sched::SchedKind;
+
+/// The policy grid the properties draw from (mirrors the figures').
+fn policies() -> [BackoffPolicy; 5] {
+    BackoffPolicy::figure_policies()
+}
+
+#[test]
+fn barrier_attribution_conserves_every_cycle() {
+    forall!(Config::with_cases(32), (
+        seed in check::any_u64(),
+        n in check::usize_in(2..48),
+        a in check::u64_in(0..=1200),
+        policy_idx in check::usize_in(0..5),
+    ) {
+        let sim = BarrierSim::new(BarrierConfig::new(n, a), policies()[policy_idx]);
+        let mut ring = Ring::default();
+        let run = sim.run_traced(seed, &mut ring);
+        let events = ring.into_events();
+
+        let attribution = attribute(&events, &Options::default()).expect("barrier trace attributes");
+        assert_eq!(attribution.kind, UnitKind::Barrier);
+        assert!(attribution.conserved(), "conservation violated: {attribution:?}");
+        assert_eq!(attribution.procs(), n);
+        // The derived window covers the run through its completion cycle.
+        assert_eq!(attribution.window.1, run.completion() + 1);
+        // Per-processor totals each cover the whole window.
+        let cycles = attribution.cycles();
+        for lane in &attribution.lanes {
+            assert_eq!(lane.total(), cycles, "lane p{} leaks cycles", lane.proc);
+        }
+    });
+}
+
+#[test]
+fn barrier_analysis_is_kernel_invariant() {
+    forall!(Config::with_cases(16), (
+        seed in check::any_u64(),
+        n in check::usize_in(2..32),
+        a in check::u64_in(0..=800),
+        policy_idx in check::usize_in(0..5),
+    ) {
+        let sim = BarrierSim::new(BarrierConfig::new(n, a), policies()[policy_idx]);
+        let mut reports = Vec::new();
+        for kernel in Kernel::ALL {
+            let mut ring = Ring::default();
+            sim.run_traced_with(seed, &mut ring, kernel);
+            let report = analyze_unit(&ring.into_events(), &Options::default())
+                .expect("barrier trace analyzes");
+            reports.push(report.attribution.to_json().render_pretty());
+        }
+        assert_eq!(reports[0], reports[1], "analysis differs across kernels");
+    });
+}
+
+#[test]
+fn open_loop_attribution_matches_engine_accounting() {
+    forall!(Config::with_cases(24), (
+        seed in check::any_u64(),
+        procs in check::usize_in(1..12),
+        gap in check::u64_in(2..=24),
+        work in check::u64_in(1..=30),
+        policy_idx in check::usize_in(0..5),
+        sched_idx in check::usize_in(0..3),
+    ) {
+        let horizon = 2_000u64;
+        let sim = OpenLoopSim::new(
+            LoadConfig {
+                procs,
+                vars: 2,
+                horizon,
+                sched: SchedKind::ALL[sched_idx],
+                backoff: policies()[policy_idx],
+                ..LoadConfig::default()
+            },
+            vec![
+                Tenant {
+                    weight: 2,
+                    arrival: Arrival::poisson(gap as f64),
+                    op_mix: OpMix::EVEN,
+                    work,
+                },
+                Tenant {
+                    weight: 1,
+                    arrival: Arrival::fixed(gap * 2),
+                    op_mix: OpMix::FAA,
+                    work: work + 2,
+                },
+            ],
+        );
+        let mut per_kernel = Vec::new();
+        for kernel in Kernel::ALL {
+            let mut ring = Ring::default();
+            let outcome = sim.run_traced_with(seed, &mut ring, kernel);
+            let events = ring.into_events();
+
+            // The engine tallies processor state on cycles 1..=horizon, so
+            // the cross-check window is exactly (1, horizon + 1).
+            let opts = Options {
+                window: Some((1, horizon + 1)),
+                procs: Some(procs),
+            };
+            let attribution = attribute(&events, &opts).expect("open-loop trace attributes");
+            assert_eq!(attribution.kind, UnitKind::OpenLoop);
+            assert!(attribution.conserved(), "conservation violated");
+            assert_eq!(
+                attribution.cycles() * attribution.procs() as u64,
+                horizon * procs as u64,
+                "window must cover the whole run"
+            );
+
+            // Idle bucket == the engine's own idle_proc_cycles; everything
+            // else == busy_proc_cycles. The attribution re-derives the
+            // engine's accounting from the trace alone.
+            assert_eq!(attribution.bucket(Bucket::Idle), outcome.idle_proc_cycles);
+            let busy: u64 = [
+                Bucket::Work,
+                Bucket::SpinPoll,
+                Bucket::BackoffWait,
+                Bucket::QueueStall,
+                Bucket::NetTransit,
+            ]
+            .iter()
+            .map(|&b| attribution.bucket(b))
+            .sum();
+            assert_eq!(busy, outcome.busy_proc_cycles);
+
+            per_kernel.push(attribution.to_json().render_pretty());
+        }
+        assert_eq!(per_kernel[0], per_kernel[1], "analysis differs across kernels");
+    });
+}
+
+#[test]
+fn backoff_converts_spin_poll_into_backoff_wait() {
+    // The paper's central attribution claim at the fig-4 acceptance point:
+    // under exponential backoff the spin-poll share collapses and a
+    // backoff-wait share appears in its place.
+    let config = BarrierConfig::new(64, 1000);
+    let mut shares = Vec::new();
+    for policy in [BackoffPolicy::None, BackoffPolicy::exponential(8)] {
+        let sim = BarrierSim::new(config, policy);
+        let mut ring = Ring::default();
+        sim.run_traced(42, &mut ring);
+        let a = attribute(&ring.into_events(), &Options::default()).unwrap();
+        assert!(a.conserved());
+        shares.push((a.share(Bucket::SpinPoll), a.share(Bucket::BackoffWait)));
+    }
+    let (spin_none, wait_none) = shares[0];
+    let (spin_exp, wait_exp) = shares[1];
+    assert_eq!(wait_none, 0.0, "no backoff policy, no backoff-wait cycles");
+    assert!(
+        spin_exp < spin_none / 4.0,
+        "exp-8 should collapse the spin-poll share: {spin_exp} vs {spin_none}"
+    );
+    assert!(wait_exp > 0.0, "exp-8 must show backoff-wait cycles");
+}

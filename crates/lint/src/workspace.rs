@@ -4,7 +4,7 @@
 //!
 //! | location | determinism | panic-path | unsafe-audit |
 //! |---|---|---|---|
-//! | `crates/{core,net,sync,model,coherence,trace,sim,load}/src` | ✔ | ✔ | ✔ |
+//! | `crates/{core,net,sync,model,coherence,trace,sim,load,insight}/src` | ✔ | ✔ | ✔ |
 //! | other `crates/*/src`, root `src/` | ✘ | ✔ | ✔ |
 //! | `tests/`, `benches/`, `examples/` anywhere | ✘ | ✘ | ✔ |
 //!
@@ -29,6 +29,7 @@ pub const SIM_CRATES: &[&str] = &[
     "trace",
     "sim",
     "load",
+    "insight",
 ];
 
 /// One Rust source file plus the policy governing it.

@@ -269,7 +269,12 @@ impl OpenLoopSim {
     /// Trace layout: per-job spans named by op on the processor's lane
     /// (`tid == p`), `admit` instants carrying the admission wait,
     /// per-tenant `tenantN_queue` depth counters and an `idle_procs`
-    /// counter on `tid == 0`, emitted on active cycles.
+    /// counter on `tid == 0`, emitted on active cycles. For cycle
+    /// attribution (`abs-insight`), attempts additionally emit: a
+    /// `sync-win` instant on the winning attempt (service starts next
+    /// cycle), a `backoff` span over each failed attempt's wait, an
+    /// `rmw-read` instant on each RMW read leg, and a `truncated` instant
+    /// ahead of every span force-closed at the horizon.
     pub fn run_traced_memory_with<S: TraceSink, M: MemorySystem>(
         &self,
         seed: u64,
@@ -370,11 +375,13 @@ impl OpenLoopSim {
                         if Self::claim(&mut var_claim, &mut touched, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
+                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             let attempts = attempts + 1;
                             state[p] = ProcState::Faa { ji, attempts };
                             let delay = cfg.backoff.flag_delay(attempts).unwrap_or(PARK_RETRY);
                             attempts_wheel.schedule(now + 1 + delay, p);
+                            Self::trace_backoff(sink, p, now, delay, cfg.horizon);
                         }
                     }
                     ProcState::Spin { ji, attempts } => {
@@ -385,11 +392,13 @@ impl OpenLoopSim {
                         if self.flag_set(now, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
+                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             let attempts = attempts + 1;
                             state[p] = ProcState::Spin { ji, attempts };
                             let delay = cfg.backoff.flag_delay(attempts).unwrap_or(PARK_RETRY);
                             attempts_wheel.schedule(now + 1 + delay, p);
+                            Self::trace_backoff(sink, p, now, delay, cfg.horizon);
                         }
                     }
                     ProcState::RmwRead { ji, attempts } => {
@@ -401,6 +410,7 @@ impl OpenLoopSim {
                         accessed = true;
                         state[p] = ProcState::RmwCas { ji, attempts };
                         attempts_wheel.schedule(now + 1, p);
+                        sink.instant(p as u32, now, "rmw-read", &[]);
                     }
                     ProcState::RmwCas { ji, attempts } => {
                         let job = jobs[ji];
@@ -410,6 +420,7 @@ impl OpenLoopSim {
                         if Self::claim(&mut var_claim, &mut touched, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
+                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             // CAS failed: somebody else wrote first. Back
                             // off, then re-read before retrying.
@@ -417,6 +428,7 @@ impl OpenLoopSim {
                             state[p] = ProcState::RmwRead { ji, attempts };
                             let delay = cfg.backoff.flag_delay(attempts).unwrap_or(PARK_RETRY);
                             attempts_wheel.schedule(now + 1 + delay, p);
+                            Self::trace_backoff(sink, p, now, delay, cfg.horizon);
                         }
                     }
                     ProcState::Idle | ProcState::Work { .. } => {
@@ -505,7 +517,10 @@ impl OpenLoopSim {
             now += 1;
         }
 
-        // Close the spans of jobs still running at the horizon.
+        // Close the spans of jobs still running at the horizon. The
+        // `truncated` instant tells analysis the job occupied its
+        // processor *through* the horizon cycle (it never completed), so
+        // attribution's idle bucket matches `idle_proc_cycles` exactly.
         for (p, s) in state.iter().enumerate() {
             let ji = match *s {
                 ProcState::Idle => continue,
@@ -515,6 +530,7 @@ impl OpenLoopSim {
                 | ProcState::RmwCas { ji, .. }
                 | ProcState::Work { ji } => ji,
             };
+            sink.instant(p as u32, cfg.horizon, "truncated", &[]);
             sink.span_end(p as u32, cfg.horizon, jobs[ji].op.label(), &[]);
         }
 
@@ -540,6 +556,21 @@ impl OpenLoopSim {
             avg_queue_depth: queue_depth.mean(),
             avg_admission_wait: wait_all.mean(),
             tenants,
+        }
+    }
+
+    /// Emits the backoff-wait span of a failed attempt: the processor
+    /// sleeps `[now + 1, now + 1 + delay)`. The End timestamp is clamped
+    /// to the horizon so a force-closed job's lane stays monotone.
+    fn trace_backoff<S: TraceSink>(sink: &mut S, p: usize, now: u64, delay: u64, horizon: u64) {
+        if !sink.enabled() {
+            return;
+        }
+        let from = now + 1;
+        let to = (from + delay).min(horizon);
+        if to > from {
+            sink.span_begin(p as u32, from, "backoff", &[("wait", delay as f64)]);
+            sink.span_end(p as u32, to, "backoff", &[]);
         }
     }
 
@@ -644,6 +675,48 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "admit"));
         assert!(events.iter().any(|e| e.name == "tenant0_queue"));
         assert!(events.iter().any(|e| e.name == "idle_procs"));
+        assert!(events.iter().any(|e| e.name == "sync-win"));
+        assert!(events.iter().any(|e| e.name == "rmw-read"));
+    }
+
+    #[test]
+    fn backoff_spans_stay_within_horizon_and_balance() {
+        use abs_obs::trace::Phase;
+        // Flag spins fail whenever the flag is down, so exp-8 delays grow
+        // to 8/64/512 cycles — spans that would overrun the 500-cycle
+        // horizon without clamping.
+        let sim = OpenLoopSim::new(
+            LoadConfig {
+                procs: 8,
+                vars: 1,
+                horizon: 500,
+                sched: SchedKind::RoundRobin,
+                backoff: BackoffPolicy::exponential(8),
+                ..LoadConfig::default()
+            },
+            vec![Tenant {
+                weight: 1,
+                arrival: Arrival::poisson(2.0),
+                op_mix: OpMix { faa: 1, spin: 6, rmw: 1 },
+                work: 50,
+            }],
+        );
+        let mut ring = Ring::default();
+        sim.run_traced_with(11, &mut ring, Kernel::Event);
+        let events = ring.into_events();
+        let horizon = sim.config().horizon as f64;
+        let mut open = std::collections::BTreeMap::new();
+        for e in &events {
+            assert!(e.ts <= horizon, "{} at {} past horizon", e.name, e.ts);
+            match e.phase {
+                Phase::Begin => *open.entry(e.tid).or_insert(0i64) += 1,
+                Phase::End => *open.entry(e.tid).or_insert(0i64) -= 1,
+                _ => {}
+            }
+        }
+        assert!(events.iter().any(|e| e.name == "backoff"));
+        assert!(events.iter().any(|e| e.name == "truncated"));
+        assert!(open.values().all(|&n| n == 0), "unbalanced spans: {open:?}");
     }
 
     #[test]

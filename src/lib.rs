@@ -34,6 +34,13 @@
 //! * [`lint`] — hermetic static analysis enforcing the determinism,
 //!   hermeticity, panic-path, and unsafe-audit rules across the workspace
 //!   (`cargo run -p abs-lint`, or `repro lint`).
+//! * [`load`] — the open-loop traffic engine: arrival processes,
+//!   multi-tenant job mixes, admission scheduling, and `OpenLoopSim`
+//!   behind the `loadsweep`/`fairness` exhibits.
+//! * [`insight`] — offline trace analysis: cycle attribution with a
+//!   conservation invariant, barrier episode/critical-path extraction,
+//!   per-tenant SLO timelines, and the perf-regression sentinel
+//!   (`repro analyze`, `repro sentinel`).
 //!
 //! # Quick start
 //!
@@ -53,6 +60,7 @@
 pub use abs_coherence as coherence;
 pub use abs_core as core;
 pub use abs_exec as exec;
+pub use abs_insight as insight;
 pub use abs_lint as lint;
 pub use abs_load as load;
 pub use abs_model as model;

@@ -122,8 +122,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_a_path_based_workspace_crate() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 12,
-        "expected the root and at least eleven crates, found {}",
+        manifests.len() >= 13,
+        "expected the root and at least twelve crates, found {}",
         manifests.len()
     );
 
@@ -183,9 +183,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
             }
         }
     }
-    // All eleven library crates (including `abs-lint` and `abs-load`) are
-    // reachable by path from the root manifest.
-    assert_eq!(seen.len(), 11, "expected 11 distinct path targets: {seen:?}");
+    // All twelve library crates (including `abs-lint`, `abs-load` and
+    // `abs-insight`) are reachable by path from the root manifest.
+    assert_eq!(seen.len(), 12, "expected 12 distinct path targets: {seen:?}");
     assert!(
         seen.iter().any(|p| p.ends_with("crates/exec")),
         "abs-exec must be registered as a path dependency: {seen:?}"
@@ -201,5 +201,9 @@ fn path_dependencies_resolve_to_workspace_crates() {
     assert!(
         seen.iter().any(|p| p.ends_with("crates/load")),
         "abs-load must be registered as a path dependency: {seen:?}"
+    );
+    assert!(
+        seen.iter().any(|p| p.ends_with("crates/insight")),
+        "abs-insight must be registered as a path dependency: {seen:?}"
     );
 }
