@@ -14,7 +14,7 @@ use crate::ReproConfig;
 pub const IDS: &[&str] = &[
     "fig1", "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
     "fig9", "fig10", "hw", "sec71", "resource", "netback", "combining", "ablations", "single",
-    "snoopy", "loadsweep", "fairness",
+    "snoopy", "loadsweep", "fairness", "megasweep",
 ];
 
 /// One-line descriptions per experiment id, in [`IDS`] order (`repro
@@ -42,6 +42,7 @@ pub const EXHIBITS: &[(&str, &str)] = &[
     ("snoopy", "Section 2.1: snoopy-bus contrast"),
     ("loadsweep", "Open loop: sync traffic and idle time vs offered load, per backoff policy"),
     ("fairness", "Open loop: per-tenant throughput/latency shares, per scheduler policy"),
+    ("megasweep", "Mega-N: 5N/2 growth and backoff crossover at N = 4096..2^20, plus a sharded single run"),
 ];
 
 /// A fully validated `repro` invocation.

@@ -1,0 +1,348 @@
+//! **`megasweep`**: the Figures 5–10 claims pushed to mega-`N`.
+//!
+//! The paper plots to `N = 512`; this exhibit re-runs the two headline
+//! claims three orders of magnitude further out — `N = 4096`, `65536`,
+//! and `2²⁰ ≈ 10⁶` under the paper configuration — where only the event
+//! kernel is tractable:
+//!
+//! * **Access growth.** Without backoff and with simultaneous arrival,
+//!   Model 1 predicts `5N/2` network accesses per barrier; the table
+//!   reports the measured multiple of `5N/2` at every grid point.
+//! * **Backoff crossover.** Exponential backoff saves the most traffic
+//!   when contention is worst (`A = 0`) and the saving persists — but
+//!   narrows per-processor — as the arrival interval grows to
+//!   `A = 1000`, the paper's Figure 7 regime.
+//!
+//! The exhibit caps with one **sharded single run**: a single mega-`N`
+//! episode partitioned into plan-time shards ([`ShardedBarrierSim`],
+//! DESIGN §13) and fanned out over the execution engine when `--jobs`
+//! exceeds 1 — output bit-identical at any worker count.
+
+use abs_core::{
+    aggregate_runs_with, BackoffPolicy, BarrierConfig, BarrierSim, ShardedBarrierConfig,
+    ShardedBarrierRun, ShardedBarrierSim,
+};
+use abs_exec::json::Value;
+use abs_exec::{run_shards, Engine, ExecConfig, ShardPlan};
+use abs_model::model1_accesses;
+use abs_sim::table::{fmt_f64, Table};
+
+use super::barrier::sweep_points;
+use crate::ReproConfig;
+
+/// Grid multipliers applied to `config.max_n`: the paper configuration
+/// (`--max-n 512`) lands on `N = 4096`, `65536`, and `1048576 = 2²⁰`.
+const GRID_MULTIPLIERS: [usize; 3] = [8, 128, 2048];
+
+/// Arrival intervals, the paper's two extremes (Figures 5 and 7).
+const SPANS: [u64; 2] = [0, 1_000];
+
+/// One rendered mega-sweep: the flat-grid table, the sharded-run
+/// summary block, and the JSON artifact `(file name, payload)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaExhibit {
+    /// The printable flat-grid table.
+    pub table: Table,
+    /// The sharded single-run summary appended below the table.
+    pub summary: String,
+    /// The machine-readable artifact, written into the output directory.
+    pub json: (String, String),
+}
+
+/// The processor-count grid, scaled off `config.max_n`.
+fn mega_grid(config: &ReproConfig) -> [usize; 3] {
+    GRID_MULTIPLIERS.map(|m| m * config.max_n.max(1))
+}
+
+/// The policy ladder: the no-backoff baseline and the paper's mildest
+/// and steepest exponential flag backoffs.
+fn mega_policies() -> [BackoffPolicy; 3] {
+    [
+        BackoffPolicy::None,
+        BackoffPolicy::exponential(2),
+        BackoffPolicy::exponential(8),
+    ]
+}
+
+/// Repetitions for a grid point: the configured budget is spent in full
+/// at the smallest grid `N` and scaled down inversely with `n` (never
+/// below one rep) so every point costs about the same simulated work.
+fn scaled_reps(base: u32, smallest: usize, n: usize) -> u32 {
+    ((u64::from(base) * smallest as u64) / n as u64).clamp(1, u64::from(base)) as u32
+}
+
+/// One measured flat grid point.
+#[derive(Debug, Clone, PartialEq)]
+struct MegaRow {
+    n: usize,
+    span: u64,
+    policy: BackoffPolicy,
+    reps: u32,
+    mean_accesses: f64,
+}
+
+impl MegaRow {
+    /// Measured per-process accesses as a multiple of Model 1's `5N/2`.
+    fn model_ratio(&self) -> f64 {
+        self.mean_accesses / model1_accesses(self.n)
+    }
+}
+
+/// Runs the flat grid, fanned over the engine like every other sweep.
+fn flat_rows(config: &ReproConfig) -> Vec<MegaRow> {
+    let points: Vec<(usize, u64, BackoffPolicy)> = mega_grid(config)
+        .into_iter()
+        .flat_map(|n| {
+            SPANS
+                .into_iter()
+                .flat_map(move |span| mega_policies().into_iter().map(move |p| (n, span, p)))
+        })
+        .collect();
+    let kernel = config.kernel;
+    let base = config.reps;
+    let smallest = mega_grid(config)[0];
+    let measured = sweep_points(&points, config, move |&(n, span, policy), seed| {
+        let sim = BarrierSim::new(BarrierConfig::new(n, span), policy);
+        aggregate_runs_with(&sim, scaled_reps(base, smallest, n), seed, kernel).mean_accesses()
+    });
+    points
+        .iter()
+        .zip(measured)
+        .map(|(&(n, span, policy), mean_accesses)| MegaRow {
+            n,
+            span,
+            policy,
+            reps: scaled_reps(base, smallest, n),
+            mean_accesses,
+        })
+        .collect()
+}
+
+/// Evaluates the sharded single run: serially at `--jobs 1`, fanned out
+/// over the engine otherwise. Bit-identical either way — the shard
+/// seeds are fixed at plan time and the merge is an ordered reduction.
+fn sharded_run(config: &ReproConfig, sim: &ShardedBarrierSim) -> ShardedBarrierRun {
+    let kernel = config.kernel;
+    if config.jobs <= 1 {
+        return sim.run_serial(config.seed, kernel);
+    }
+    let engine = Engine::new(ExecConfig::new(config.jobs));
+    let plan = ShardPlan::new(sim.config().n, sim.config().shard_size);
+    let summaries = run_shards(&engine, config.seed, &plan, |shard, _seed| {
+        // The engine derives the same per-shard seed the simulator does;
+        // the simulator's derivation stays the single source of truth.
+        sim.run_shard(config.seed, shard.index, kernel)
+    });
+    sim.merge(config.seed, summaries, kernel)
+}
+
+/// The sharded configuration the exhibit runs: the largest grid `N`
+/// split into shards of the smallest grid `N`, at the wide arrival
+/// interval with the paper's base-2 flag backoff.
+fn sharded_sim(config: &ReproConfig) -> ShardedBarrierSim {
+    let grid = mega_grid(config);
+    ShardedBarrierSim::new(
+        ShardedBarrierConfig::new(grid[2], SPANS[1], grid[0]),
+        BackoffPolicy::exponential(2),
+    )
+}
+
+/// The JSON artifact: reproduction parameters, flat rows, sharded run.
+fn mega_json(config: &ReproConfig, rows: &[MegaRow], sharded: &ShardedBarrierRun) -> Value {
+    let grid = mega_grid(config);
+    let json_rows: Vec<Value> = rows
+        .iter()
+        .map(|row| {
+            Value::Obj(vec![
+                ("n".to_string(), Value::Num(row.n as f64)),
+                ("span".to_string(), Value::Num(row.span as f64)),
+                ("policy".to_string(), Value::Str(row.policy.label())),
+                ("reps".to_string(), Value::Num(f64::from(row.reps))),
+                ("mean_accesses".to_string(), Value::Num(row.mean_accesses)),
+                ("model_ratio".to_string(), Value::Num(row.model_ratio())),
+            ])
+        })
+        .collect();
+    let sharded_obj = Value::Obj(vec![
+        ("n".to_string(), Value::Num(sharded.n() as f64)),
+        (
+            "shard_size".to_string(),
+            Value::Num(sharded_sim(config).config().shard_size as f64),
+        ),
+        ("shards".to_string(), Value::Num(sharded.shards().len() as f64)),
+        ("span".to_string(), Value::Num(SPANS[1] as f64)),
+        (
+            "policy".to_string(),
+            Value::Str(BackoffPolicy::exponential(2).label()),
+        ),
+        ("mean_accesses".to_string(), Value::Num(sharded.mean_accesses())),
+        (
+            "total_accesses".to_string(),
+            Value::Num(sharded.total_accesses() as f64),
+        ),
+        ("queued".to_string(), Value::Num(sharded.queued() as f64)),
+        (
+            "flag_set_spread".to_string(),
+            Value::Num(sharded.flag_set_spread() as f64),
+        ),
+        ("completion".to_string(), Value::Num(sharded.completion() as f64)),
+    ]);
+    Value::Obj(vec![
+        ("exhibit".to_string(), Value::Str("megasweep".to_string())),
+        ("seed".to_string(), Value::Str(config.seed.to_string())),
+        ("kernel".to_string(), Value::Str(config.kernel.name().to_string())),
+        ("reps".to_string(), Value::Num(f64::from(config.reps))),
+        (
+            "grid".to_string(),
+            Value::Arr(grid.iter().map(|&n| Value::Num(n as f64)).collect()),
+        ),
+        ("rows".to_string(), Value::Arr(json_rows)),
+        ("sharded".to_string(), sharded_obj),
+    ])
+}
+
+/// **`megasweep`**: mega-`N` access growth, backoff crossover, and the
+/// sharded single run.
+pub fn megasweep(config: &ReproConfig) -> MegaExhibit {
+    let rows = flat_rows(config);
+    let sim = sharded_sim(config);
+    let sharded = sharded_run(config, &sim);
+
+    let mut table = Table::new(vec![
+        "N",
+        "A",
+        "policy",
+        "reps",
+        "accesses/proc",
+        "x (5N/2)",
+        "vs no backoff",
+    ]);
+    for row in &rows {
+        let baseline = rows
+            .iter()
+            .find(|r| r.n == row.n && r.span == row.span && r.policy == BackoffPolicy::None)
+            .map(|r| r.mean_accesses)
+            .unwrap_or(row.mean_accesses);
+        let saving = if row.policy == BackoffPolicy::None {
+            "-".to_string()
+        } else {
+            format!("{}%", fmt_f64(100.0 * (row.mean_accesses - baseline) / baseline, 1))
+        };
+        table.add_row(vec![
+            row.n.to_string(),
+            row.span.to_string(),
+            row.policy.label(),
+            row.reps.to_string(),
+            fmt_f64(row.mean_accesses, 2),
+            fmt_f64(row.model_ratio(), 3),
+            saving,
+        ]);
+    }
+
+    let cfg = sim.config();
+    let summary = format!(
+        "Sharded single run (DESIGN §13): N = {} in {} shards of {} (A = {}, {}, {} kernel)\n\
+         accesses/proc {} | root span {} | queued {} | completion {} | bit-identical at any --jobs",
+        cfg.n,
+        cfg.shard_count(),
+        cfg.shard_size,
+        cfg.span,
+        sim.policy().label(),
+        config.kernel.name(),
+        fmt_f64(sharded.mean_accesses(), 2),
+        sharded.flag_set_spread(),
+        sharded.queued(),
+        sharded.completion(),
+    );
+
+    let json = mega_json(config, &rows, &sharded);
+    MegaExhibit {
+        table,
+        summary,
+        json: ("megasweep.json".to_string(), json.render_pretty()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_sim::kernel::Kernel;
+
+    /// A grid small enough for exhaustive testing: `[16, 256, 4096]`,
+    /// one to two reps per point.
+    fn tiny(jobs: usize, kernel: Kernel) -> ReproConfig {
+        ReproConfig {
+            max_n: 2,
+            reps: 2,
+            jobs,
+            kernel,
+            ..ReproConfig::quick()
+        }
+    }
+
+    #[test]
+    fn grid_scales_off_max_n() {
+        assert_eq!(mega_grid(&ReproConfig::paper()), [4096, 65536, 1_048_576]);
+        assert_eq!(mega_grid(&ReproConfig::quick()), [512, 8192, 131_072]);
+    }
+
+    #[test]
+    fn reps_scale_down_with_n_but_never_vanish() {
+        assert_eq!(scaled_reps(100, 4096, 4096), 100);
+        assert_eq!(scaled_reps(100, 4096, 65536), 6);
+        assert_eq!(scaled_reps(100, 4096, 1_048_576), 1);
+        assert_eq!(scaled_reps(1, 16, 4096), 1);
+    }
+
+    #[test]
+    fn exhibit_is_bit_identical_at_any_worker_count() {
+        let reference = megasweep(&tiny(1, Kernel::Event));
+        for jobs in [2, 8] {
+            assert_eq!(megasweep(&tiny(jobs, Kernel::Event)), reference, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_the_whole_exhibit() {
+        // Keep the cycle-kernel oracle affordable: the smallest grid,
+        // one rep. Compare point by point so a divergence names itself.
+        let mut event = tiny(1, Kernel::Event);
+        event.max_n = 1;
+        event.reps = 1;
+        let mut cycle = event.clone();
+        cycle.kernel = Kernel::Cycle;
+        for (e, c) in flat_rows(&event).iter().zip(flat_rows(&cycle)) {
+            assert_eq!(*e, c);
+        }
+        // The exhibit embeds the kernel *name* in its summary and JSON,
+        // so compare the numeric content: the table and the sharded run.
+        assert_eq!(megasweep(&event).table, megasweep(&cycle).table);
+        assert_eq!(
+            sharded_run(&event, &sharded_sim(&event)),
+            sharded_run(&cycle, &sharded_sim(&cycle))
+        );
+    }
+
+    #[test]
+    fn rows_cover_the_full_grid_and_respect_the_model() {
+        let mut config = tiny(1, Kernel::Event);
+        config.max_n = 1;
+        let exhibit = megasweep(&config);
+        let rows = flat_rows(&config);
+        assert_eq!(rows.len(), 3 * SPANS.len() * mega_policies().len());
+        for row in &rows {
+            // Every processor wins the variable once and passes the flag
+            // once; at A=0 without backoff the 5N/2 model should be in
+            // sight (the simulation includes denied-retry traffic, so
+            // allow a generous band around 1.0).
+            assert!(row.mean_accesses >= 2.0, "row {row:?}");
+            if row.policy == BackoffPolicy::None && row.span == 0 {
+                let ratio = row.model_ratio();
+                assert!((0.5..=2.0).contains(&ratio), "ratio {ratio} at n {}", row.n);
+            }
+        }
+        assert_eq!(exhibit.json.0, "megasweep.json");
+        assert!(exhibit.json.1.contains("\"sharded\""));
+        assert!(exhibit.summary.contains("Sharded single run"));
+    }
+}

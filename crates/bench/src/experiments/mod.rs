@@ -5,6 +5,7 @@ mod barrier;
 mod coherence;
 mod extensions;
 mod load;
+mod megasweep;
 mod traces;
 mod tracing;
 mod variants;
@@ -14,6 +15,7 @@ pub use barrier::{barrier_figures, fig4, hardware, sec71, BarrierFigures};
 pub use coherence::{fig1, table1, table2};
 pub use extensions::{combining, netback, resource};
 pub use load::{fairness, loadsweep, LoadExhibit};
+pub use megasweep::{megasweep, MegaExhibit};
 pub use traces::{fig3, table3};
 pub use tracing::sim_trace;
 pub use variants::{single, snoopy};

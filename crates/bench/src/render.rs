@@ -78,6 +78,11 @@ pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
             json = Some(exhibit.json);
             exhibit.table.to_string()
         }
+        "megasweep" => {
+            let exhibit = experiments::megasweep(config);
+            json = Some(exhibit.json);
+            format!("{}\n{}", exhibit.table, exhibit.summary)
+        }
         "ablations" => format!(
             "{}\n{}\n{}",
             experiments::ablation_arbitration(config),

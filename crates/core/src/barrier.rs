@@ -36,6 +36,7 @@
 
 use abs_net::module::{Arbitration, MemoryModule, PendingSet, Request};
 use abs_obs::trace::{Noop, TraceSink};
+use abs_sim::bitset::FixedBitset;
 use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 
@@ -86,16 +87,61 @@ enum Phase {
     Done,
 }
 
+/// Per-processor episode state in struct-of-arrays layout, shared by both
+/// kernels.
+///
+/// At mega-`N` (the `megasweep` exhibit runs N = 10⁶ episodes) the old
+/// array-of-structs `Proc` padded every processor to ~80 bytes and dragged
+/// all eight fields through the cache on every touch. The SoA layout keeps
+/// each loop streaming over only the arrays it actually reads — the cycle
+/// stepper's activation scan touches `phase` + `arrival` alone, the event
+/// kernel's handlers touch one id across a few arrays — so the resident
+/// working set of an N = 10⁶ barrier stays compact. The arrival batch
+/// itself comes from one `fill_below` call (see
+/// [`Xoshiro256PlusPlus::uniform_arrivals`]).
 #[derive(Debug, Clone)]
-struct Proc {
-    arrival: u64,
-    phase: Phase,
-    var_accesses: u64,
-    flag_before: u64,
-    flag_after: u64,
-    polls: u32,
-    done_at: u64,
-    was_queued: bool,
+struct ProcState {
+    arrival: Vec<u64>,
+    phase: Vec<Phase>,
+    var_accesses: Vec<u64>,
+    flag_before: Vec<u64>,
+    flag_after: Vec<u64>,
+    polls: Vec<u32>,
+    done_at: Vec<u64>,
+    was_queued: Vec<bool>,
+}
+
+impl ProcState {
+    fn new(arrivals: Vec<u64>) -> Self {
+        let n = arrivals.len();
+        Self {
+            arrival: arrivals,
+            phase: vec![Phase::NotArrived; n],
+            var_accesses: vec![0; n],
+            flag_before: vec![0; n],
+            flag_after: vec![0; n],
+            polls: vec![0; n],
+            done_at: vec![0; n],
+            was_queued: vec![false; n],
+        }
+    }
+
+    /// Applies the presented-access charges for a flag request that was
+    /// pending over every cycle of `[from, to]`, split into before/after
+    /// the flag was observed set. The cycle stepper charges at the top of
+    /// a cycle, before any flag service — so the cycle that *sets* the
+    /// flag (and every one up to it) still charges as "before"; only
+    /// cycles strictly after `flag_set_at` charge as "after".
+    fn charge_flag(&mut self, id: usize, from: u64, to: u64, flag_set_at: Option<u64>) {
+        match flag_set_at {
+            Some(f) if f < from => self.flag_after[id] += to - from + 1,
+            Some(f) if f < to => {
+                self.flag_before[id] += f - from + 1;
+                self.flag_after[id] += to - f;
+            }
+            _ => self.flag_before[id] += to - from + 1,
+        }
+    }
 }
 
 /// The result of one simulated barrier episode.
@@ -275,24 +321,12 @@ impl BarrierSim {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
 
-        let mut procs: Vec<Proc> = arrivals
-            .iter()
-            .map(|&arrival| Proc {
-                arrival,
-                phase: Phase::NotArrived,
-                var_accesses: 0,
-                flag_before: 0,
-                flag_after: 0,
-                polls: 0,
-                done_at: 0,
-                was_queued: false,
-            })
-            .collect();
+        let mut now = arrivals[0];
+        let mut procs = ProcState::new(arrivals);
 
         let mut var_module = MemoryModule::new(self.config.arbitration);
         let mut flag_module = MemoryModule::new(self.config.arbitration);
 
-        let mut now = arrivals[0];
         let mut barrier_count = 0usize;
         let mut flag_set_at: Option<u64> = None;
         let mut done = 0usize;
@@ -300,16 +334,16 @@ impl BarrierSim {
         let mut flag_reqs: Vec<Request> = Vec::with_capacity(n);
 
         while done < n {
-            // Activate arrivals and expired waits.
-            for (id, p) in procs.iter_mut().enumerate() {
-                match p.phase {
-                    Phase::NotArrived if p.arrival <= now => {
-                        p.phase = Phase::VarRequest { since: now };
+            // Activate arrivals and expired waits (phase + arrival scan).
+            for id in 0..n {
+                match procs.phase[id] {
+                    Phase::NotArrived if procs.arrival[id] <= now => {
+                        procs.phase[id] = Phase::VarRequest { since: now };
                         sink.span_begin(id as u32, now, "barrier", &[]);
                         sink.span_begin(id as u32, now, "var", &[]);
                     }
                     Phase::Waiting { until } if until <= now => {
-                        p.phase = Phase::FlagPoll { since: now };
+                        procs.phase[id] = Phase::FlagPoll { since: now };
                     }
                     _ => {}
                 }
@@ -318,17 +352,17 @@ impl BarrierSim {
             // Collect this cycle's requests.
             var_reqs.clear();
             flag_reqs.clear();
-            for (id, p) in procs.iter_mut().enumerate() {
-                match p.phase {
+            for id in 0..n {
+                match procs.phase[id] {
                     Phase::VarRequest { since } => {
-                        p.var_accesses += 1;
+                        procs.var_accesses[id] += 1;
                         var_reqs.push(Request::new(id, since));
                     }
                     Phase::FlagPoll { since } | Phase::FlagWrite { since } => {
                         if flag_set_at.is_some_and(|t| now >= t) {
-                            p.flag_after += 1;
+                            procs.flag_after[id] += 1;
                         } else {
-                            p.flag_before += 1;
+                            procs.flag_before[id] += 1;
                         }
                         flag_reqs.push(Request::new(id, since));
                     }
@@ -352,19 +386,21 @@ impl BarrierSim {
             if let Some(winner) = var_module.arbitrate(&var_reqs, &mut rng) {
                 barrier_count += 1;
                 let i = barrier_count;
-                let p = &mut procs[winner];
                 sink.span_end(
                     winner as u32,
                     now,
                     "var",
-                    &[("accesses", p.var_accesses as f64), ("count", i as f64)],
+                    &[
+                        ("accesses", procs.var_accesses[winner] as f64),
+                        ("count", i as f64),
+                    ],
                 );
                 if i == n {
-                    p.phase = Phase::FlagWrite { since: now + 1 };
+                    procs.phase[winner] = Phase::FlagWrite { since: now + 1 };
                     sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
                 } else {
                     let wait = self.policy.variable_wait(n, i);
-                    p.phase = if wait == 0 {
+                    procs.phase[winner] = if wait == 0 {
                         Phase::FlagPoll { since: now + 1 }
                     } else {
                         // The span is scheduled in full here: both edges are
@@ -382,26 +418,24 @@ impl BarrierSim {
             // Serve at most one flag access.
             if let Some(winner) = flag_module.arbitrate(&flag_reqs, &mut rng) {
                 let set = flag_set_at.is_some_and(|t| now >= t);
-                let phase = procs[winner].phase;
-                match phase {
+                match procs.phase[winner] {
                     Phase::FlagWrite { .. } => {
                         flag_set_at = Some(now);
-                        let p = &mut procs[winner];
-                        p.phase = Phase::Done;
-                        p.done_at = now;
+                        procs.phase[winner] = Phase::Done;
+                        procs.done_at[winner] = now;
                         done += 1;
                         sink.span_end(winner as u32, now, "flag-write", &[]);
                         sink.instant(winner as u32, now, "flag-set", &[]);
                         sink.span_end(winner as u32, now, "barrier", &[]);
                         // Wake everything already parked.
                         let wake = now + self.policy.wake_cost();
-                        for (qid, q) in procs.iter_mut().enumerate() {
-                            if q.phase == Phase::Queued {
-                                q.phase = Phase::Done;
-                                q.done_at = wake;
+                        for qid in 0..n {
+                            if procs.phase[qid] == Phase::Queued {
+                                procs.phase[qid] = Phase::Done;
+                                procs.done_at[qid] = wake;
                                 // The wake-up notification / refetch is one
                                 // more network transaction.
-                                q.flag_after += 1;
+                                procs.flag_after[qid] += 1;
                                 done += 1;
                                 sink.instant(qid as u32, wake, "wake", &[]);
                                 sink.span_end(qid as u32, wake, "barrier", &[]);
@@ -409,24 +443,26 @@ impl BarrierSim {
                         }
                     }
                     Phase::FlagPoll { .. } => {
-                        let p = &mut procs[winner];
                         if set {
-                            p.phase = Phase::Done;
-                            p.done_at = now;
+                            procs.phase[winner] = Phase::Done;
+                            procs.done_at[winner] = now;
                             done += 1;
                             sink.instant(winner as u32, now, "poll-hit", &[]);
                             sink.span_end(winner as u32, now, "barrier", &[]);
                         } else {
-                            p.polls += 1;
+                            procs.polls[winner] += 1;
                             sink.instant(
                                 winner as u32,
                                 now,
                                 "poll-miss",
-                                &[("polls", f64::from(p.polls))],
+                                &[("polls", f64::from(procs.polls[winner]))],
                             );
-                            match self.policy.sampled_flag_delay(p.polls, &mut rng) {
+                            match self
+                                .policy
+                                .sampled_flag_delay(procs.polls[winner], &mut rng)
+                            {
                                 Some(0) => {
-                                    p.phase = Phase::FlagPoll { since: now + 1 };
+                                    procs.phase[winner] = Phase::FlagPoll { since: now + 1 };
                                 }
                                 Some(d) => {
                                     sink.span_begin(
@@ -436,14 +472,14 @@ impl BarrierSim {
                                         &[("wait", d as f64)],
                                     );
                                     sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
-                                    p.phase = Phase::Waiting { until: now + 1 + d };
+                                    procs.phase[winner] = Phase::Waiting { until: now + 1 + d };
                                 }
                                 None => {
                                     // Park; the enqueue operation itself is a
                                     // network transaction.
-                                    p.phase = Phase::Queued;
-                                    p.was_queued = true;
-                                    p.flag_before += 1;
+                                    procs.phase[winner] = Phase::Queued;
+                                    procs.was_queued[winner] = true;
+                                    procs.flag_before[winner] += 1;
                                     sink.instant(winner as u32, now, "park", &[]);
                                 }
                             }
@@ -454,9 +490,9 @@ impl BarrierSim {
             }
 
             // Advance time, skipping dead cycles.
-            let any_requesting = procs.iter().any(|p| {
+            let any_requesting = procs.phase.iter().any(|p| {
                 matches!(
-                    p.phase,
+                    p,
                     Phase::VarRequest { .. } | Phase::FlagPoll { .. } | Phase::FlagWrite { .. }
                 )
             });
@@ -464,9 +500,11 @@ impl BarrierSim {
                 now += 1;
             } else if done < n {
                 let next = procs
+                    .phase
                     .iter()
-                    .filter_map(|p| match p.phase {
-                        Phase::NotArrived => Some(p.arrival),
+                    .enumerate()
+                    .filter_map(|(id, &phase)| match phase {
+                        Phase::NotArrived => Some(procs.arrival[id]),
                         Phase::Waiting { until } => Some(until),
                         _ => None,
                     })
@@ -476,7 +514,7 @@ impl BarrierSim {
             }
         }
 
-        collect_run(n, &procs, flag_set_at)
+        collect_run(&procs, flag_set_at)
     }
 
     /// The event-driven skip-ahead kernel.
@@ -513,29 +551,17 @@ impl BarrierSim {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         let arrivals = rng.uniform_arrivals(n, self.config.span);
 
-        let mut procs: Vec<Proc> = arrivals
-            .iter()
-            .map(|&arrival| Proc {
-                arrival,
-                phase: Phase::NotArrived,
-                var_accesses: 0,
-                flag_before: 0,
-                flag_after: 0,
-                polls: 0,
-                done_at: 0,
-                was_queued: false,
-            })
-            .collect();
-
         let mut now = arrivals[0];
-        let mut barrier_count = 0usize;
-        let mut flag_set_at: Option<u64> = None;
-        let mut done = 0usize;
-
         let mut wheel = TimeWheel::new(now);
         for (id, &arrival) in arrivals.iter().enumerate() {
             wheel.schedule(arrival, id);
         }
+        let mut procs = ProcState::new(arrivals);
+
+        let mut barrier_count = 0usize;
+        let mut flag_set_at: Option<u64> = None;
+        let mut done = 0usize;
+
         // Pending-request sets, id-sorted (see the bit-identity notes).
         let mut var_pending = PendingSet::new(self.config.arbitration, n);
         let mut flag_pending = PendingSet::new(self.config.arbitration, n);
@@ -544,9 +570,11 @@ impl BarrierSim {
         // the request stays pending across the miss, so its charge interval
         // runs unbroken from the original enqueue.
         let mut flag_from: Vec<u64> = vec![0; n];
-        // Parked processors, id-sorted (the wake scan must visit them in
-        // the cycle stepper's id order).
-        let mut queued: Vec<usize> = Vec::new();
+        // Parked processors. The bitset iterates in ascending id order (the
+        // wake scan must visit them in the cycle stepper's id order) and
+        // inserts in O(1) — a sorted Vec's shifting insert is quadratic
+        // when a queue-on-threshold policy parks most of a mega-N barrier.
+        let mut queued = FixedBitset::new(n);
         let mut due: Vec<usize> = Vec::new();
 
         while done < n {
@@ -554,17 +582,16 @@ impl BarrierSim {
             // order.
             wheel.pop_due(now, &mut due);
             for &id in &due {
-                let p = &mut procs[id];
-                match p.phase {
+                match procs.phase[id] {
                     Phase::NotArrived => {
-                        p.phase = Phase::VarRequest { since: now };
+                        procs.phase[id] = Phase::VarRequest { since: now };
                         var_pending.insert(Request::new(id, now));
                         sink.span_begin(id as u32, now, "barrier", &[]);
                         sink.span_begin(id as u32, now, "var", &[]);
                     }
                     Phase::Waiting { until } => {
                         debug_assert!(until <= now);
-                        p.phase = Phase::FlagPoll { since: now };
+                        procs.phase[id] = Phase::FlagPoll { since: now };
                         flag_pending.insert(Request::new(id, now));
                         flag_from[id] = now;
                     }
@@ -597,30 +624,32 @@ impl BarrierSim {
                 let req = var_pending.remove(winner);
                 barrier_count += 1;
                 let i = barrier_count;
-                let p = &mut procs[winner];
                 // Presented on every cycle since enqueue, served or denied.
-                p.var_accesses += now - req.since + 1;
+                procs.var_accesses[winner] += now - req.since + 1;
                 sink.span_end(
                     winner as u32,
                     now,
                     "var",
-                    &[("accesses", p.var_accesses as f64), ("count", i as f64)],
+                    &[
+                        ("accesses", procs.var_accesses[winner] as f64),
+                        ("count", i as f64),
+                    ],
                 );
                 if i == n {
-                    p.phase = Phase::FlagWrite { since: now + 1 };
+                    procs.phase[winner] = Phase::FlagWrite { since: now + 1 };
                     flag_pending.insert(Request::new(winner, now + 1));
                     flag_from[winner] = now + 1;
                     sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
                 } else {
                     let wait = self.policy.variable_wait(n, i);
                     if wait == 0 {
-                        p.phase = Phase::FlagPoll { since: now + 1 };
+                        procs.phase[winner] = Phase::FlagPoll { since: now + 1 };
                         flag_pending.insert(Request::new(winner, now + 1));
                         flag_from[winner] = now + 1;
                     } else {
                         sink.span_begin(winner as u32, now + 1, "backoff", &[("wait", wait as f64)]);
                         sink.span_end(winner as u32, now + 1 + wait, "backoff", &[]);
-                        p.phase = Phase::Waiting { until: now + 1 + wait };
+                        procs.phase[winner] = Phase::Waiting { until: now + 1 + wait };
                         wheel.schedule(now + 1 + wait, winner);
                     }
                 }
@@ -629,28 +658,26 @@ impl BarrierSim {
             // Serve the flag winner.
             if let Some(winner) = flag_winner {
                 let set = flag_set_at.is_some_and(|t| now >= t);
-                let phase = procs[winner].phase;
-                match phase {
+                match procs.phase[winner] {
                     Phase::FlagWrite { .. } => {
                         flag_pending.remove(winner);
-                        charge_flag(&mut procs[winner], flag_from[winner], now, flag_set_at);
+                        procs.charge_flag(winner, flag_from[winner], now, flag_set_at);
                         flag_set_at = Some(now);
-                        let p = &mut procs[winner];
-                        p.phase = Phase::Done;
-                        p.done_at = now;
+                        procs.phase[winner] = Phase::Done;
+                        procs.done_at[winner] = now;
                         done += 1;
                         sink.span_end(winner as u32, now, "flag-write", &[]);
                         sink.instant(winner as u32, now, "flag-set", &[]);
                         sink.span_end(winner as u32, now, "barrier", &[]);
-                        // Wake everything already parked, in id order.
+                        // Wake everything already parked, in id order (the
+                        // bitset iterates ascending).
                         let wake = now + self.policy.wake_cost();
-                        for &qid in &queued {
-                            let q = &mut procs[qid];
-                            q.phase = Phase::Done;
-                            q.done_at = wake;
+                        for qid in &queued {
+                            procs.phase[qid] = Phase::Done;
+                            procs.done_at[qid] = wake;
                             // The wake-up notification / refetch is one
                             // more network transaction.
-                            q.flag_after += 1;
+                            procs.flag_after[qid] += 1;
                             done += 1;
                             sink.instant(qid as u32, wake, "wake", &[]);
                             sink.span_end(qid as u32, wake, "barrier", &[]);
@@ -660,29 +687,30 @@ impl BarrierSim {
                     Phase::FlagPoll { .. } => {
                         if set {
                             flag_pending.remove(winner);
-                            charge_flag(&mut procs[winner], flag_from[winner], now, flag_set_at);
-                            let p = &mut procs[winner];
-                            p.phase = Phase::Done;
-                            p.done_at = now;
+                            procs.charge_flag(winner, flag_from[winner], now, flag_set_at);
+                            procs.phase[winner] = Phase::Done;
+                            procs.done_at[winner] = now;
                             done += 1;
                             sink.instant(winner as u32, now, "poll-hit", &[]);
                             sink.span_end(winner as u32, now, "barrier", &[]);
                         } else {
-                            let p = &mut procs[winner];
-                            p.polls += 1;
+                            procs.polls[winner] += 1;
                             sink.instant(
                                 winner as u32,
                                 now,
                                 "poll-miss",
-                                &[("polls", f64::from(p.polls))],
+                                &[("polls", f64::from(procs.polls[winner]))],
                             );
-                            match self.policy.sampled_flag_delay(p.polls, &mut rng) {
+                            match self
+                                .policy
+                                .sampled_flag_delay(procs.polls[winner], &mut rng)
+                            {
                                 Some(0) => {
                                     // Still pending next cycle; only the
                                     // request age changes (oldest-first
                                     // arbitration reads it). The charge
                                     // interval keeps running — no removal.
-                                    p.phase = Phase::FlagPoll { since: now + 1 };
+                                    procs.phase[winner] = Phase::FlagPoll { since: now + 1 };
                                     flag_pending.refresh(winner, now + 1);
                                 }
                                 Some(d) => {
@@ -694,20 +722,19 @@ impl BarrierSim {
                                     );
                                     sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
                                     flag_pending.remove(winner);
-                                    charge_flag(p, flag_from[winner], now, flag_set_at);
-                                    p.phase = Phase::Waiting { until: now + 1 + d };
+                                    procs.charge_flag(winner, flag_from[winner], now, flag_set_at);
+                                    procs.phase[winner] = Phase::Waiting { until: now + 1 + d };
                                     wheel.schedule(now + 1 + d, winner);
                                 }
                                 None => {
                                     // Park; the enqueue operation itself is a
                                     // network transaction.
                                     flag_pending.remove(winner);
-                                    charge_flag(p, flag_from[winner], now, flag_set_at);
-                                    p.phase = Phase::Queued;
-                                    p.was_queued = true;
-                                    p.flag_before += 1;
-                                    let at = queued.binary_search(&winner).unwrap_err();
-                                    queued.insert(at, winner);
+                                    procs.charge_flag(winner, flag_from[winner], now, flag_set_at);
+                                    procs.phase[winner] = Phase::Queued;
+                                    procs.was_queued[winner] = true;
+                                    procs.flag_before[winner] += 1;
+                                    queued.insert(winner);
                                     sink.instant(winner as u32, now, "park", &[]);
                                 }
                             }
@@ -729,46 +756,30 @@ impl BarrierSim {
             }
         }
 
-        collect_run(n, &procs, flag_set_at)
+        collect_run(&procs, flag_set_at)
     }
 }
 
 /// Builds the episode result from the final processor states (shared by
-/// both kernels, so the field derivations cannot drift apart).
-fn collect_run(n: usize, procs: &[Proc], flag_set_at: Option<u64>) -> BarrierRun {
-    let accesses: Vec<u64> = procs
-        .iter()
-        .map(|p| p.var_accesses + p.flag_before + p.flag_after)
+/// both kernels, so the field derivations cannot drift apart). Every pass
+/// streams sequentially over one or two SoA arrays.
+fn collect_run(procs: &ProcState, flag_set_at: Option<u64>) -> BarrierRun {
+    let n = procs.arrival.len();
+    let accesses: Vec<u64> = (0..n)
+        .map(|i| procs.var_accesses[i] + procs.flag_before[i] + procs.flag_after[i])
         .collect();
-    let waiting: Vec<u64> = procs.iter().map(|p| p.done_at - p.arrival).collect();
-    let completion = procs.iter().map(|p| p.done_at).max().unwrap_or(0);
+    let waiting: Vec<u64> = (0..n).map(|i| procs.done_at[i] - procs.arrival[i]).collect();
+    let completion = procs.done_at.iter().copied().max().unwrap_or(0);
     BarrierRun {
         n,
-        var_accesses: procs.iter().map(|p| p.var_accesses).sum(),
-        flag_before: procs.iter().map(|p| p.flag_before).sum(),
-        flag_after: procs.iter().map(|p| p.flag_after).sum(),
-        queued: procs.iter().filter(|p| p.was_queued).count(),
+        var_accesses: procs.var_accesses.iter().sum(),
+        flag_before: procs.flag_before.iter().sum(),
+        flag_after: procs.flag_after.iter().sum(),
+        queued: procs.was_queued.iter().filter(|&&q| q).count(),
         flag_set_at: flag_set_at.expect("flag must be set before completion"), // abs-lint: allow(panic-path) -- the loop exits only after completion, which requires the flag set
         completion,
         accesses,
         waiting,
-    }
-}
-
-/// Applies the presented-access charges for a flag request that was
-/// pending over every cycle of `[from, to]`, split into before/after the
-/// flag was observed set. The cycle stepper charges at the top of a cycle,
-/// before any flag service — so the cycle that *sets* the flag (and every
-/// one up to it) still charges as "before"; only cycles strictly after
-/// `flag_set_at` charge as "after".
-fn charge_flag(p: &mut Proc, from: u64, to: u64, flag_set_at: Option<u64>) {
-    match flag_set_at {
-        Some(f) if f < from => p.flag_after += to - from + 1,
-        Some(f) if f < to => {
-            p.flag_before += f - from + 1;
-            p.flag_after += to - f;
-        }
-        _ => p.flag_before += to - from + 1,
     }
 }
 

@@ -47,6 +47,7 @@ pub mod combining;
 pub mod metrics;
 pub mod policy;
 pub mod resource;
+pub mod sharded;
 pub mod single;
 pub mod traffic;
 pub mod wheel;
@@ -57,5 +58,6 @@ pub use combining::{CombiningConfig, CombiningRun, CombiningTreeSim};
 pub use metrics::{aggregate_runs, aggregate_runs_with, BarrierAggregate};
 pub use policy::BackoffPolicy;
 pub use resource::{ResourceConfig, ResourcePolicy, ResourceRun, ResourceSim};
+pub use sharded::{ShardSummary, ShardedBarrierConfig, ShardedBarrierRun, ShardedBarrierSim};
 pub use single::{SingleCounterRun, SingleCounterSim};
 pub use traffic::{amortized_traffic, TrafficEstimate};

@@ -1,0 +1,384 @@
+//! Hierarchical sharded barrier: one mega-`N` episode as plan-time shards.
+//!
+//! A flat [`BarrierSim`] episode is a single serial computation — at
+//! N = 10⁶ it completes under the event kernel, but only one worker can
+//! drive it. The sharded model splits the episode into a two-level
+//! hierarchy whose parts are independent and therefore parallelizable,
+//! with every boundary and seed fixed **at plan time**:
+//!
+//! * **Shards.** The `N` processors are cut into `S = ⌈N / shard_size⌉`
+//!   contiguous shards; shard `s` runs a local barrier episode over its
+//!   own processors with seed `derive_seed(master, s)`, under the same
+//!   span, arbitration, and backoff policy.
+//! * **Root.** One representative per shard (its last arriver) then
+//!   synchronizes through a root episode of `S` processors whose arrival
+//!   span is the spread of the shard flag-set times (the real skew the
+//!   representatives would show up with), seeded `derive_seed(master, S)`.
+//!
+//! [`ShardedBarrierSim::merge`] folds the shard summaries and the root
+//! episode into a [`ShardedBarrierRun`] by an ordered reduction, so the
+//! result is a pure function of `(config, policy, master seed)` — the
+//! contract DESIGN §13 pins down: evaluating shards serially, or fanned
+//! out over any number of workers in any order, yields bit-identical
+//! output. The 1024-core RISC-V barrier study (arXiv 2307.10248) motivates
+//! the shape: at ≥1k cores, hierarchy/topology *is* the barrier, so the
+//! sharded model is the paper's flat episode embedded in the tree regime —
+//! its metrics are **not** comparable to a flat `BarrierSim` run of the
+//! same `N` (different physics: a flat episode funnels all `N` through one
+//! variable module; the hierarchy funnels `shard_size` and `S`).
+
+use abs_net::module::Arbitration;
+use abs_sim::kernel::Kernel;
+use abs_sim::sweep::derive_seed;
+
+use crate::barrier::{BarrierConfig, BarrierRun, BarrierSim};
+use crate::policy::BackoffPolicy;
+
+/// Static parameters of a sharded barrier episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardedBarrierConfig {
+    /// Total number of synchronizing processors, `N >= 1`.
+    pub n: usize,
+    /// Arrival interval `A` in cycles inside each shard.
+    pub span: u64,
+    /// Processors per shard (the last shard takes the remainder).
+    pub shard_size: usize,
+    /// Memory-module arbitration policy, shared by shards and root.
+    pub arbitration: Arbitration,
+}
+
+impl ShardedBarrierConfig {
+    /// Creates a configuration with the paper's default random arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `shard_size == 0`.
+    pub fn new(n: usize, span: u64, shard_size: usize) -> Self {
+        assert!(n > 0, "at least one processor required");
+        assert!(shard_size > 0, "shards must be non-empty");
+        Self {
+            n,
+            span,
+            shard_size,
+            arbitration: Arbitration::Random,
+        }
+    }
+
+    /// Returns a copy using the given arbitration policy.
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
+    /// Number of shards, `⌈n / shard_size⌉`.
+    pub fn shard_count(&self) -> usize {
+        self.n.div_ceil(self.shard_size)
+    }
+
+    /// Processors in shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shard_count()`.
+    pub fn shard_len(&self, index: usize) -> usize {
+        assert!(index < self.shard_count(), "shard index out of range");
+        self.shard_size.min(self.n - index * self.shard_size)
+    }
+}
+
+/// The aggregate outcome of one shard's local episode — everything the
+/// ordered merge needs, compact enough to ship between workers at mega-N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSummary {
+    /// Shard index (merge order).
+    pub index: usize,
+    /// Processors in this shard.
+    pub n: usize,
+    /// Total network accesses inside the shard episode.
+    pub total_accesses: u64,
+    /// Processes that parked under a queue-on-threshold policy.
+    pub queued: usize,
+    /// Cycle the shard's flag write was served (the representative's
+    /// release time — the root episode's arrival skew source).
+    pub flag_set_at: u64,
+    /// Cycle the shard's last process proceeded.
+    pub completion: u64,
+}
+
+/// The merged result of a sharded barrier episode.
+///
+/// `PartialEq` compares every shard summary, the root episode, and the
+/// derived metrics — the bit-identity tests compare whole values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedBarrierRun {
+    n: usize,
+    shards: Vec<ShardSummary>,
+    root: BarrierRun,
+}
+
+impl ShardedBarrierRun {
+    /// Total processors across all shards.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-shard summaries, in shard order.
+    pub fn shards(&self) -> &[ShardSummary] {
+        &self.shards
+    }
+
+    /// The root episode the shard representatives synchronized through.
+    pub fn root(&self) -> &BarrierRun {
+        &self.root
+    }
+
+    /// Total network accesses: every shard episode plus the root episode.
+    pub fn total_accesses(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_accesses).sum::<u64>() + self.root.total_accesses()
+    }
+
+    /// Mean network accesses per processor, root traffic amortized over
+    /// all `N` — the sharded analogue of the paper's Figures 4–7 y-axis.
+    pub fn mean_accesses(&self) -> f64 {
+        self.total_accesses() as f64 / self.n as f64
+    }
+
+    /// Processes that parked, across shards and root.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queued).sum::<usize>() + self.root.queued()
+    }
+
+    /// Spread of the shard flag-set times — the root episode's arrival
+    /// span (the skew the representatives arrive with).
+    pub fn flag_set_spread(&self) -> u64 {
+        let max = self.shards.iter().map(|s| s.flag_set_at).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.flag_set_at).min().unwrap_or(0);
+        max - min
+    }
+
+    /// End-to-end completion: the slowest shard's completion plus the full
+    /// root episode (the root cannot release anyone before every
+    /// representative has cleared its local barrier).
+    pub fn completion(&self) -> u64 {
+        let local = self.shards.iter().map(|s| s.completion).max().unwrap_or(0);
+        local + self.root.completion()
+    }
+}
+
+/// A deterministic simulator of one sharded barrier configuration.
+///
+/// # Examples
+///
+/// ```
+/// use abs_core::{BackoffPolicy, Kernel, ShardedBarrierConfig, ShardedBarrierSim};
+///
+/// let sim = ShardedBarrierSim::new(
+///     ShardedBarrierConfig::new(4096, 0, 512),
+///     BackoffPolicy::exponential(2),
+/// );
+/// // Shards evaluated in any order merge to the same run.
+/// let serial = sim.run_serial(7, Kernel::Event);
+/// let shards: Vec<_> = (0..sim.config().shard_count())
+///     .rev() // deliberately out of order
+///     .map(|s| sim.run_shard(7, s, Kernel::Event))
+///     .collect();
+/// let mut ordered = shards;
+/// ordered.sort_by_key(|s| s.index);
+/// assert_eq!(sim.merge(7, ordered, Kernel::Event), serial);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedBarrierSim {
+    config: ShardedBarrierConfig,
+    policy: BackoffPolicy,
+}
+
+impl ShardedBarrierSim {
+    /// Creates a simulator.
+    pub fn new(config: ShardedBarrierConfig, policy: BackoffPolicy) -> Self {
+        Self { config, policy }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ShardedBarrierConfig {
+        self.config
+    }
+
+    /// The backoff policy in force.
+    pub fn policy(&self) -> BackoffPolicy {
+        self.policy
+    }
+
+    /// The seed shard `index` computes with: `derive_seed(master, index)`,
+    /// fixed at plan time (the root uses index `shard_count()`).
+    pub fn shard_seed(&self, master_seed: u64, index: usize) -> u64 {
+        derive_seed(master_seed, index as u64)
+    }
+
+    /// Runs shard `index`'s local episode. A pure function of
+    /// `(config, policy, master seed, index, kernel)` — independent of
+    /// which worker runs it or when.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= config.shard_count()`.
+    pub fn run_shard(&self, master_seed: u64, index: usize, kernel: Kernel) -> ShardSummary {
+        let n = self.config.shard_len(index);
+        let cfg = BarrierConfig::new(n, self.config.span).with_arbitration(self.config.arbitration);
+        let run = BarrierSim::new(cfg, self.policy)
+            .run_with(self.shard_seed(master_seed, index), kernel);
+        ShardSummary {
+            index,
+            n,
+            total_accesses: run.total_accesses(),
+            queued: run.queued(),
+            flag_set_at: run.flag_set_at(),
+            completion: run.completion(),
+        }
+    }
+
+    /// Merges the shard summaries through the root episode: `S`
+    /// representatives synchronize over an arrival span equal to the shard
+    /// flag-set spread, seeded `derive_seed(master, S)`. An ordered
+    /// reduction — the summaries must arrive in shard order (asserted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries are not exactly shards `0..shard_count()`
+    /// in order.
+    pub fn merge(
+        &self,
+        master_seed: u64,
+        shards: Vec<ShardSummary>,
+        kernel: Kernel,
+    ) -> ShardedBarrierRun {
+        let count = self.config.shard_count();
+        assert_eq!(shards.len(), count, "expected {count} shard summaries");
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.index, i, "shard summaries out of order");
+        }
+        let spread = {
+            let max = shards.iter().map(|s| s.flag_set_at).max().unwrap_or(0);
+            let min = shards.iter().map(|s| s.flag_set_at).min().unwrap_or(0);
+            max - min
+        };
+        let root_cfg =
+            BarrierConfig::new(count, spread).with_arbitration(self.config.arbitration);
+        let root = BarrierSim::new(root_cfg, self.policy)
+            .run_with(self.shard_seed(master_seed, count), kernel);
+        ShardedBarrierRun {
+            n: self.config.n,
+            shards,
+            root,
+        }
+    }
+
+    /// Runs the whole sharded episode serially: every shard in order, then
+    /// the merge. The reference for the engine-parallel path — output is
+    /// bit-identical however the shard evaluations are scheduled.
+    pub fn run_serial(&self, master_seed: u64, kernel: Kernel) -> ShardedBarrierRun {
+        let shards: Vec<ShardSummary> = (0..self.config.shard_count())
+            .map(|s| self.run_shard(master_seed, s, kernel))
+            .collect();
+        self.merge(master_seed, shards, kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: usize, span: u64, shard_size: usize) -> ShardedBarrierSim {
+        ShardedBarrierSim::new(
+            ShardedBarrierConfig::new(n, span, shard_size),
+            BackoffPolicy::exponential(2),
+        )
+    }
+
+    #[test]
+    fn shard_partition_covers_n() {
+        for (n, size) in [(100, 7), (64, 64), (65, 64), (1, 10)] {
+            let cfg = ShardedBarrierConfig::new(n, 0, size);
+            let total: usize = (0..cfg.shard_count()).map(|s| cfg.shard_len(s)).sum();
+            assert_eq!(total, n, "n {n} size {size}");
+            assert!((0..cfg.shard_count()).all(|s| cfg.shard_len(s) > 0));
+        }
+    }
+
+    #[test]
+    fn serial_run_is_deterministic() {
+        let s = sim(500, 200, 64);
+        assert_eq!(s.run_serial(3, Kernel::Event), s.run_serial(3, Kernel::Event));
+    }
+
+    #[test]
+    fn kernels_bit_identical_on_sharded_runs() {
+        for (n, span, size) in [(300usize, 0u64, 32usize), (500, 400, 64), (64, 100, 64)] {
+            for arb in Arbitration::ALL {
+                let s = ShardedBarrierSim::new(
+                    ShardedBarrierConfig::new(n, span, size).with_arbitration(arb),
+                    BackoffPolicy::exponential(2),
+                );
+                for seed in 0..3 {
+                    assert_eq!(
+                        s.run_serial(seed, Kernel::Cycle),
+                        s.run_serial(seed, Kernel::Event),
+                        "n {n} span {span} size {size} arb {arb:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_in_evaluation() {
+        // Shards computed in any order, merged in shard order, match the
+        // serial run — the determinism contract the engine relies on.
+        let s = sim(1000, 300, 128);
+        let serial = s.run_serial(11, Kernel::Event);
+        let mut shards: Vec<ShardSummary> = (0..s.config().shard_count())
+            .rev()
+            .map(|i| s.run_shard(11, i, Kernel::Event))
+            .collect();
+        shards.sort_by_key(|x| x.index);
+        assert_eq!(s.merge(11, shards, Kernel::Event), serial);
+    }
+
+    #[test]
+    fn metrics_are_consistent() {
+        let s = sim(512, 100, 64);
+        let run = s.run_serial(5, Kernel::Event);
+        assert_eq!(run.n(), 512);
+        assert_eq!(run.shards().len(), 8);
+        // Every shard contributes at least 2 accesses per processor
+        // (variable win + flag pass), as does the root per representative.
+        assert!(run.total_accesses() >= 2 * (512 + 8) as u64);
+        assert!((run.mean_accesses() - run.total_accesses() as f64 / 512.0).abs() < 1e-9);
+        assert!(run.completion() > run.shards().iter().map(|x| x.completion).max().unwrap());
+        assert_eq!(run.root().accesses().len(), 8);
+    }
+
+    #[test]
+    fn single_shard_still_runs_root() {
+        // n <= shard_size degenerates to one shard plus a trivial root.
+        let s = sim(32, 0, 64);
+        let run = s.run_serial(1, Kernel::Event);
+        assert_eq!(run.shards().len(), 1);
+        assert_eq!(run.flag_set_spread(), 0);
+        assert_eq!(run.root().accesses(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard summaries out of order")]
+    fn merge_rejects_out_of_order_summaries() {
+        let s = sim(128, 0, 32);
+        let mut shards: Vec<ShardSummary> = (0..4).map(|i| s.run_shard(2, i, Kernel::Event)).collect();
+        shards.swap(1, 2);
+        s.merge(2, shards, Kernel::Event);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be non-empty")]
+    fn zero_shard_size_rejected() {
+        ShardedBarrierConfig::new(10, 0, 0);
+    }
+}

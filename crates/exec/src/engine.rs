@@ -1,19 +1,43 @@
 //! The worker pool: fixed-size, panic-isolating, id-order committing.
 //!
-//! [`Engine::run`] spawns `workers` scoped threads over a shared injector
-//! queue (a `Mutex`-guarded cursor — jobs are all enqueued up front, so no
-//! condvar is needed). Each worker pops the next job id, executes the job
-//! under [`std::panic::catch_unwind`] with bounded retry, and writes the
-//! outcome into the slot indexed by the job id. Because every job's seed is
+//! [`Engine::run`] spawns `workers` scoped threads over an injector. The
+//! default injector is **chunked work-stealing** ([`Dispatch::Stealing`]):
+//! the job-id range is cut into contiguous chunks dealt to per-worker
+//! deques; an owner pops chunks from the front of its own deque, and a
+//! worker that runs dry steals the back half of a victim's deque. Because
+//! all chunks exist up front (jobs never spawn jobs), a worker may exit
+//! once its own deque is empty and a full victim scan finds nothing — no
+//! condvar, no spinning. The legacy `Mutex`-guarded cursor
+//! ([`Dispatch::Cursor`]) is kept as the oracle for dispatch-overhead
+//! benchmarks and bit-identity tests.
+//!
+//! Each worker executes its jobs under [`std::panic::catch_unwind`] with
+//! bounded retry and accumulates `(id, outcome)` pairs *locally*; outcomes
+//! are merged into id-indexed slots only after every worker has joined, so
+//! the result path takes no locks at all. Because every job's seed is
 //! fixed at push time and outcomes are committed by id, the returned
-//! [`RunReport`] is bit-for-bit identical at any worker count — only the
-//! timing counters differ.
+//! [`RunReport`] is bit-for-bit identical at any worker count and under
+//! either injector — only the timing counters differ.
 
+use std::collections::VecDeque;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::job::{JobFailure, JobOutcome, JobSet, JobStats};
+
+/// How workers are fed job ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dispatch {
+    /// Chunked work-stealing deques (the default): contention is one
+    /// uncontended deque lock per *chunk*, not per job.
+    #[default]
+    Stealing,
+    /// The legacy shared cursor: one global lock acquisition per job.
+    /// Kept as the dispatch-overhead oracle; results are identical.
+    Cursor,
+}
 
 /// Sizing and robustness knobs for an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,10 +48,13 @@ pub struct ExecConfig {
     /// How many times a panicking job is re-executed before it is reported
     /// as failed.
     pub retries: u32,
+    /// The injector feeding workers (work-stealing by default).
+    pub dispatch: Dispatch,
 }
 
 impl ExecConfig {
-    /// A pool of `workers` threads with no retries.
+    /// A pool of `workers` threads with no retries and the default
+    /// work-stealing injector.
     ///
     /// # Panics
     ///
@@ -37,6 +64,7 @@ impl ExecConfig {
         Self {
             workers,
             retries: 0,
+            dispatch: Dispatch::default(),
         }
     }
 
@@ -48,6 +76,12 @@ impl ExecConfig {
     /// Sets the bounded retry count.
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Selects the injector.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
         self
     }
 }
@@ -115,76 +149,74 @@ impl Engine {
         let retries = self.config.retries;
         let start = Instant::now();
 
-        let next: Mutex<usize> = Mutex::new(0);
-        let slots: Mutex<Vec<Option<(Result<T, JobFailure>, JobStats)>>> =
-            Mutex::new((0..n).map(|_| None).collect());
+        let injector = Injector::new(self.config.dispatch, n, workers);
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let mut slots: Vec<Option<(Result<T, JobFailure>, JobStats)>> =
+            (0..n).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let jobs = &jobs;
-                    let next = &next;
-                    let slots = &slots;
+                    let injector = &injector;
                     s.spawn(move || {
                         let mut busy = Duration::ZERO;
-                        let mut ran = 0usize;
-                        loop {
-                            let idx = {
-                                let mut cursor = next.lock().unwrap(); // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
-                                if *cursor >= jobs.len() {
-                                    break;
-                                }
-                                let i = *cursor;
-                                *cursor += 1;
-                                i
-                            };
-                            let queue_wait = start.elapsed();
-                            let exec_start = Instant::now();
-                            let mut attempts = 0u32;
-                            let result = loop {
-                                attempts += 1;
-                                match catch_unwind(AssertUnwindSafe(|| jobs[idx].execute())) {
-                                    Ok(value) => break Ok(value),
-                                    Err(payload) if attempts > retries => {
-                                        break Err(JobFailure {
-                                            attempts,
-                                            message: panic_message(payload.as_ref()),
-                                        })
+                        let mut done: Vec<(usize, Result<T, JobFailure>, JobStats)> = Vec::new();
+                        while let Some(chunk) = injector.next_chunk(worker) {
+                            for idx in chunk {
+                                let queue_wait = start.elapsed();
+                                let exec_start = Instant::now();
+                                let mut attempts = 0u32;
+                                let result = loop {
+                                    attempts += 1;
+                                    match catch_unwind(AssertUnwindSafe(|| jobs[idx].execute())) {
+                                        Ok(value) => break Ok(value),
+                                        Err(payload) if attempts > retries => {
+                                            break Err(JobFailure {
+                                                attempts,
+                                                message: panic_message(payload.as_ref()),
+                                            })
+                                        }
+                                        Err(_) => {} // retry
                                     }
-                                    Err(_) => {} // retry
-                                }
-                            };
-                            let wall = exec_start.elapsed();
-                            busy += wall;
-                            ran += 1;
-                            let stats = JobStats {
-                                queue_wait,
-                                wall,
-                                attempts,
-                                worker,
-                            };
-                            slots.lock().unwrap()[idx] = Some((result, stats)); // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
+                                };
+                                let wall = exec_start.elapsed();
+                                busy += wall;
+                                let stats = JobStats {
+                                    queue_wait,
+                                    wall,
+                                    attempts,
+                                    worker,
+                                };
+                                done.push((idx, result, stats));
+                            }
                         }
-                        WorkerStats {
+                        let stats = WorkerStats {
                             worker,
-                            jobs: ran,
+                            jobs: done.len(),
                             busy,
-                        }
+                        };
+                        (stats, done)
                     })
                 })
                 .collect();
             for handle in handles {
-                worker_stats.push(handle.join().expect("worker threads do not panic")); // abs-lint: allow(panic-path) -- workers catch job panics; a panic here is an engine bug
+                let (stats, done) = handle.join().expect("worker threads do not panic"); // abs-lint: allow(panic-path) -- workers catch job panics; a panic here is an engine bug
+                worker_stats.push(stats);
+                // Lock-free commit: each id was dispatched to exactly one
+                // worker, so every slot is written exactly once.
+                for (idx, result, job_stats) in done {
+                    slots[idx] = Some((result, job_stats));
+                }
             }
         });
 
         let elapsed = start.elapsed();
         let outcomes = jobs
             .iter()
-            .zip(slots.into_inner().unwrap()) // abs-lint: allow(panic-path) -- all workers joined, so the mutex cannot be poisoned or held
+            .zip(slots)
             .map(|(job, slot)| {
-                let (result, stats) = slot.expect("every job slot is filled"); // abs-lint: allow(panic-path) -- the cursor hands out each index exactly once, so every slot was filled
+                let (result, stats) = slot.expect("every job slot is filled"); // abs-lint: allow(panic-path) -- the injector hands out each index exactly once, so every slot was filled
                 JobOutcome {
                     id: job.id(),
                     name: job.name().to_string(),
@@ -198,6 +230,98 @@ impl Engine {
             outcomes,
             workers: worker_stats,
             elapsed,
+        }
+    }
+}
+
+/// The injector feeding workers ranges of job ids.
+///
+/// Both variants hand out every id in `[0, n)` exactly once; they differ
+/// only in contention. The cursor takes one global lock per job. The
+/// stealing injector deals contiguous chunks (several per worker, so late
+/// stragglers still find work to steal) into per-worker deques: an owner
+/// pops from the front of its own deque — preserving ascending id order
+/// locally, which keeps cache behaviour and manifest ordering friendly —
+/// and a thief takes the *back half* of the first non-empty victim,
+/// moving the largest outstanding ranges away from the owner's hot front.
+#[derive(Debug)]
+enum Injector {
+    Cursor(Mutex<usize>, usize),
+    Stealing(Vec<Mutex<VecDeque<Range<usize>>>>),
+}
+
+impl Injector {
+    /// Chunks per worker under stealing dispatch: enough granularity for
+    /// late stragglers to steal, coarse enough that lock traffic stays at
+    /// ~`CHUNKS_PER_WORKER × workers` acquisitions per run.
+    const CHUNKS_PER_WORKER: usize = 8;
+
+    fn new(dispatch: Dispatch, n: usize, workers: usize) -> Self {
+        match dispatch {
+            Dispatch::Cursor => Injector::Cursor(Mutex::new(0), n),
+            Dispatch::Stealing => {
+                let chunk = n.div_ceil(workers * Self::CHUNKS_PER_WORKER).max(1);
+                let chunks: Vec<Range<usize>> = (0..n.div_ceil(chunk))
+                    .map(|i| i * chunk..((i + 1) * chunk).min(n))
+                    .collect();
+                // Deal contiguous runs of chunks per worker, so worker 0
+                // starts at id 0 like the cursor would.
+                let per = chunks.len().div_ceil(workers).max(1);
+                let mut deques: Vec<Mutex<VecDeque<Range<usize>>>> =
+                    (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+                for (w, run) in chunks.chunks(per).enumerate() {
+                    *deques[w].get_mut().expect("freshly built mutex") = // abs-lint: allow(panic-path) -- no thread has touched the mutex yet
+                        run.iter().cloned().collect();
+                }
+                Injector::Stealing(deques)
+            }
+        }
+    }
+
+    /// The next range of job ids for `worker`, or `None` when the run is
+    /// drained (own deque empty and nothing stealable anywhere).
+    fn next_chunk(&self, worker: usize) -> Option<Range<usize>> {
+        match self {
+            Injector::Cursor(next, n) => {
+                let mut cursor = next.lock().unwrap(); // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
+                if *cursor >= *n {
+                    None
+                } else {
+                    let i = *cursor;
+                    *cursor += 1;
+                    Some(i..i + 1)
+                }
+            }
+            Injector::Stealing(deques) => {
+                if let Some(chunk) = deques[worker]
+                    .lock()
+                    .unwrap() // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
+                    .pop_front()
+                {
+                    return Some(chunk);
+                }
+                // Own deque dry: steal the back half of the first victim
+                // with queued chunks. Chunks only ever leave deques, so one
+                // full failed scan means the run is drained.
+                let workers = deques.len();
+                for offset in 1..workers {
+                    let victim = (worker + offset) % workers;
+                    let mut stolen = {
+                        let mut q = deques[victim].lock().unwrap(); // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
+                        if q.is_empty() {
+                            continue;
+                        }
+                        let keep = q.len() / 2;
+                        q.split_off(keep)
+                    };
+                    let first = stolen.pop_front();
+                    if !stolen.is_empty() {
+                        *deques[worker].lock().unwrap() = stolen; // abs-lint: allow(panic-path) -- poisoning implies a worker panicked, which join() already surfaces
+                    }
+                    return first;
+                }
+                None
+            }
         }
     }
 }
@@ -379,5 +503,80 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         ExecConfig::new(0);
+    }
+
+    #[test]
+    fn stealing_and_cursor_dispatch_are_bit_identical() {
+        // The injector is pure scheduling: same seeds, same id-ordered
+        // commit, so the value sequence cannot depend on the dispatch mode
+        // or worker count.
+        let build = || {
+            let mut set = JobSet::new(0xD15);
+            for i in 0..97u64 {
+                set.push(format!("j{i}"), move |seed| seed.rotate_left(i as u32));
+            }
+            set
+        };
+        let reference = Engine::new(ExecConfig::new(1).with_dispatch(Dispatch::Cursor))
+            .run(build())
+            .into_values()
+            .unwrap();
+        for workers in [1, 2, 8] {
+            for dispatch in [Dispatch::Cursor, Dispatch::Stealing] {
+                let values = Engine::new(ExecConfig::new(workers).with_dispatch(dispatch))
+                    .run(build())
+                    .into_values()
+                    .unwrap();
+                assert_eq!(values, reference, "{workers} workers, {dispatch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_dispatches_every_job_exactly_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let counters: Vec<AtomicU32> = (0..1000).map(|_| AtomicU32::new(0)).collect();
+        let mut set = JobSet::new(0);
+        for i in 0..counters.len() {
+            let counters = &counters;
+            set.push(format!("j{i}"), move |_| {
+                counters[i].fetch_add(1, Ordering::Relaxed)
+            });
+        }
+        let report = Engine::new(ExecConfig::new(8)).run(set);
+        assert!(report.is_success());
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        // Every executed job is attributed to exactly one worker.
+        assert_eq!(report.workers.iter().map(|w| w.jobs).sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn poisoned_job_is_isolated_under_stealing() {
+        // One always-panicking job in the middle of a stolen-and-split run
+        // must fail alone: neighbours on the same chunk, the same worker,
+        // and other workers all commit normally.
+        let mut set = JobSet::new(7);
+        for i in 0..64u64 {
+            set.push(format!("j{i}"), move |_| {
+                assert!(i != 23, "poisoned");
+                i
+            });
+        }
+        let report = Engine::new(
+            ExecConfig::new(4)
+                .with_dispatch(Dispatch::Stealing)
+                .with_retries(1),
+        )
+        .run(set);
+        assert_eq!(report.ok_count(), 63);
+        let failed = report.failed();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].id, 23);
+        assert_eq!(failed[0].stats.attempts, 2);
+        for outcome in &report.outcomes {
+            if outcome.id != 23 {
+                assert_eq!(*outcome.result.as_ref().unwrap(), outcome.id as u64);
+            }
+        }
     }
 }

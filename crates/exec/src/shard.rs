@@ -1,0 +1,201 @@
+//! Deterministic intra-run sharding: one giant simulation, many workers.
+//!
+//! [`JobSet`] parallelism fans out *independent* runs (repetitions, sweep
+//! points); a single giant run — one N = 10⁶ barrier episode, one huge
+//! coherence trace — used to be serial. A [`ShardPlan`] partitions such a
+//! run into contiguous shards whose boundaries and per-shard seeds are all
+//! fixed **at plan time**, before any worker is involved:
+//!
+//! * shard `s` covers ids `[s · shard_size, min((s+1) · shard_size, total))`;
+//! * shard `s` computes with `derive_seed(master_seed, s)`.
+//!
+//! [`run_shards`] then evaluates every shard on an [`Engine`] and returns
+//! the results **in shard order** (the engine's job-id-ordered commit *is*
+//! the ordered merge). Because nothing about a shard's input depends on
+//! which worker runs it or when, the merged output is bit-for-bit
+//! identical at any worker count — the same determinism contract as job
+//! sets, pushed one level down into a single run. What the shards *mean*
+//! is the caller's business (e.g. `abs-core`'s sharded hierarchical
+//! barrier, DESIGN §13).
+
+use abs_sim::sweep::derive_seed;
+
+use crate::engine::Engine;
+use crate::job::JobSet;
+
+/// One contiguous shard of a partitioned run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// Shard index (merge order).
+    pub index: usize,
+    /// First element id covered.
+    pub start: usize,
+    /// Number of elements covered (the last shard may be short).
+    pub len: usize,
+}
+
+/// A fixed partition of `total` elements into contiguous shards.
+///
+/// # Examples
+///
+/// ```
+/// use abs_exec::shard::ShardPlan;
+///
+/// let plan = ShardPlan::new(10, 4);
+/// let shards = plan.shards();
+/// assert_eq!(shards.len(), 3);
+/// assert_eq!((shards[2].start, shards[2].len), (8, 2));
+/// // Seeds are a pure function of (master seed, shard index).
+/// assert_eq!(plan.seed_for(1989, 2), plan.seed_for(1989, 2));
+/// assert_ne!(plan.seed_for(1989, 1), plan.seed_for(1989, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    total: usize,
+    shard_size: usize,
+}
+
+impl ShardPlan {
+    /// Plans `total` elements in shards of `shard_size` (the last shard
+    /// takes the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `shard_size == 0`.
+    pub fn new(total: usize, shard_size: usize) -> Self {
+        assert!(total > 0, "cannot shard an empty run");
+        assert!(shard_size > 0, "shards must be non-empty");
+        Self { total, shard_size }
+    }
+
+    /// Total elements partitioned.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Elements per shard (except possibly the last).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards.
+    pub fn count(&self) -> usize {
+        self.total.div_ceil(self.shard_size)
+    }
+
+    /// The shards, in index (= merge) order.
+    pub fn shards(&self) -> Vec<Shard> {
+        (0..self.count())
+            .map(|index| {
+                let start = index * self.shard_size;
+                Shard {
+                    index,
+                    start,
+                    len: self.shard_size.min(self.total - start),
+                }
+            })
+            .collect()
+    }
+
+    /// The seed shard `index` computes with, fixed at plan time.
+    pub fn seed_for(&self, master_seed: u64, index: usize) -> u64 {
+        derive_seed(master_seed, index as u64)
+    }
+}
+
+/// Evaluates every shard of `plan` on `engine` and returns the results in
+/// shard order (the ordered merge).
+///
+/// `eval` must be a pure function of `(shard, seed)`; under that contract
+/// the returned vector is bit-identical at any engine worker count.
+///
+/// # Panics
+///
+/// Panics if a shard evaluation panics (after the engine's bounded
+/// retries), mirroring what the serial loop would do.
+pub fn run_shards<T, F>(engine: &Engine, master_seed: u64, plan: &ShardPlan, eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Shard, u64) -> T + Send + Sync,
+{
+    let shards = plan.shards();
+    let mut set = JobSet::new(master_seed);
+    let eval = &eval;
+    for &shard in &shards {
+        set.push_seeded(
+            format!("shard{}", shard.index),
+            plan.seed_for(master_seed, shard.index),
+            move |seed| eval(shard, seed),
+        );
+    }
+    engine
+        .run(set)
+        .into_values()
+        .unwrap_or_else(|e| panic!("shard evaluation failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExecConfig;
+
+    #[test]
+    fn plan_covers_every_element_exactly_once() {
+        for (total, size) in [(1, 1), (7, 3), (12, 4), (100, 7), (5, 100)] {
+            let plan = ShardPlan::new(total, size);
+            let shards = plan.shards();
+            assert_eq!(shards.len(), plan.count());
+            let mut covered = 0usize;
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.start, covered);
+                assert!(s.len > 0);
+                covered += s.len;
+            }
+            assert_eq!(covered, total, "total {total} size {size}");
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_distinct() {
+        let plan = ShardPlan::new(64, 8);
+        let seeds: Vec<u64> = (0..plan.count()).map(|i| plan.seed_for(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+        assert_eq!(seeds, (0..plan.count()).map(|i| plan.seed_for(42, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_run_is_bit_identical_at_any_worker_count() {
+        let plan = ShardPlan::new(1000, 64);
+        let eval =
+            |shard: Shard, seed: u64| (shard.start as u64).wrapping_mul(seed) ^ shard.len as u64;
+        let serial: Vec<u64> = plan
+            .shards()
+            .into_iter()
+            .map(|s| eval(s, plan.seed_for(9, s.index)))
+            .collect();
+        for workers in [1, 2, 8] {
+            let engine = Engine::new(ExecConfig::new(workers));
+            assert_eq!(
+                run_shards(&engine, 9, &plan, eval),
+                serial,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shard an empty run")]
+    fn empty_run_rejected() {
+        ShardPlan::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shards must be non-empty")]
+    fn zero_shard_size_rejected() {
+        ShardPlan::new(4, 0);
+    }
+}

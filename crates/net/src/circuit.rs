@@ -299,6 +299,73 @@ impl CircuitSim {
         }
     }
 
+    /// One reference-stepper cycle: expiring holds, issue trials and due
+    /// attempts, all by linear scan. Both kernels execute this exact body
+    /// for dense cycles — the cycle stepper always, the event kernel
+    /// while the population is saturated — so the draw order is identical
+    /// by construction. `due` is scratch; it holds this cycle's due
+    /// attempts (post-shuffle) on return.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_cycle(
+        &self,
+        now: u64,
+        measuring: bool,
+        topo: &OmegaTopology,
+        traffic: &HotspotTraffic,
+        rng: &mut Xoshiro256PlusPlus,
+        states: &mut [ProcState],
+        held_paths: &mut [Option<Vec<usize>>],
+        occupied: &mut [u64],
+        measure: &mut Measure,
+        due: &mut Vec<usize>,
+    ) {
+        let n = topo.size();
+
+        // 1. Complete circuits whose hold expires, in id order.
+        for p in 0..n {
+            if let ProcState::Holding { until, .. } = states[p] {
+                if until <= now {
+                    Self::release(p, now, measuring, n, states, held_paths, occupied, measure);
+                }
+            }
+        }
+
+        // 2. Idle processors may issue new requests, in id order.
+        for state in states.iter_mut() {
+            if *state == ProcState::Idle && rng.next_bool(self.config.request_rate) {
+                *state = ProcState::Attempting {
+                    issued: now,
+                    retry_at: now,
+                    retries: 0,
+                    dst: traffic.destination(rng),
+                };
+            }
+        }
+
+        // 3. Due attempts try to establish circuits in random priority
+        //    order (the shuffle draws only over the due attempts, so an
+        //    attempt-free cycle costs no draw).
+        due.clear();
+        for p in 0..n {
+            if let ProcState::Attempting { retry_at, .. } = states[p] {
+                if retry_at <= now {
+                    due.push(p);
+                }
+            }
+        }
+        rng.shuffle(due);
+        for &p in due.iter() {
+            self.attempt(p, now, measuring, topo, states, held_paths, occupied, measure);
+        }
+    }
+
+    /// Consecutive dense cycles (at least `N/2` due attempts) before the
+    /// event kernel falls back to the reference scan body.
+    const DENSE_STREAK: u32 = 32;
+    /// Consecutive sparse scan cycles (fewer than `N/4` due attempts)
+    /// before the event kernel rebuilds its indexes and resumes skipping.
+    const SPARSE_STREAK: u32 = 64;
+
     /// The reference cycle stepper: every simulated cycle scans all `N`
     /// processors for expiring holds, issue trials and due retries.
     fn run_cycle_kernel(&self, seed: u64) -> CircuitOutcome {
@@ -321,61 +388,18 @@ impl CircuitSim {
 
         for now in 1..=total {
             let measuring = now > self.config.warmup_cycles;
-
-            // 1. Complete circuits whose hold expires, in id order.
-            for p in 0..n {
-                if let ProcState::Holding { until, .. } = states[p] {
-                    if until <= now {
-                        Self::release(
-                            p,
-                            now,
-                            measuring,
-                            n,
-                            &mut states,
-                            &mut held_paths,
-                            &mut occupied,
-                            &mut measure,
-                        );
-                    }
-                }
-            }
-
-            // 2. Idle processors may issue new requests, in id order.
-            for state in states.iter_mut() {
-                if *state == ProcState::Idle && rng.next_bool(self.config.request_rate) {
-                    *state = ProcState::Attempting {
-                        issued: now,
-                        retry_at: now,
-                        retries: 0,
-                        dst: traffic.destination(&mut rng),
-                    };
-                }
-            }
-
-            // 3. Due attempts try to establish circuits in random priority
-            //    order (the shuffle draws only over the due attempts, so an
-            //    attempt-free cycle costs no draw).
-            due.clear();
-            for p in 0..n {
-                if let ProcState::Attempting { retry_at, .. } = states[p] {
-                    if retry_at <= now {
-                        due.push(p);
-                    }
-                }
-            }
-            rng.shuffle(&mut due);
-            for &p in &due {
-                self.attempt(
-                    p,
-                    now,
-                    measuring,
-                    &topo,
-                    &mut states,
-                    &mut held_paths,
-                    &mut occupied,
-                    &mut measure,
-                );
-            }
+            self.scan_cycle(
+                now,
+                measuring,
+                &topo,
+                &traffic,
+                &mut rng,
+                &mut states,
+                &mut held_paths,
+                &mut occupied,
+                &mut measure,
+                &mut due,
+            );
         }
 
         measure.outcome(self.config.measure_cycles)
@@ -394,6 +418,18 @@ impl CircuitSim {
     /// ascending id exactly at their expiry, and the clock only skips
     /// cycles in which the cycle stepper would have drawn nothing and
     /// changed nothing: no idle processor and no due event.
+    ///
+    /// **Adaptive dense-regime fallback.** When nearly the whole
+    /// population is due every cycle (a saturated no-backoff hot spot)
+    /// there is nothing to skip, and the wheel bookkeeping only adds
+    /// constant overhead on top of the reference stepper's linear scans.
+    /// After `DENSE_STREAK` consecutive cycles with at least `N/2` due
+    /// attempts the kernel switches to executing [`Self::scan_cycle`] —
+    /// the reference body itself, so the draws stay identical — and
+    /// after `SPARSE_STREAK` consecutive scan cycles with fewer than
+    /// `N/4` due attempts it rebuilds its indexes from `states` and
+    /// resumes skipping. The density band between the two thresholds is
+    /// the hysteresis that keeps a borderline load from thrashing.
     fn run_event_kernel(&self, seed: u64) -> CircuitOutcome {
         let topo = OmegaTopology::new(self.config.log2_size);
         let n = topo.size();
@@ -413,16 +449,83 @@ impl CircuitSim {
         let mut idle: Vec<usize> = (0..n).collect();
         let mut events: Vec<usize> = Vec::new();
         let mut due: Vec<usize> = Vec::with_capacity(n);
+        // Next-cycle fast path: a saturated no-backoff hot-spot retries
+        // every collision at `now + 1`, which would round-trip the wheel
+        // (slot push, pop, drain) once per processor per cycle. Events one
+        // cycle out are buffered here instead and merged with the wheel
+        // pops; only genuinely future events pay for the wheel.
+        let mut next_cycle: Vec<usize> = Vec::with_capacity(n);
 
         let mut now = 1u64;
+        // Dense-regime fallback state (see the doc comment above).
+        let mut scan_mode = false;
+        let mut dense_streak = 0u32;
+        let mut sparse_streak = 0u32;
         while now <= total {
             let measuring = now > self.config.warmup_cycles;
+
+            if scan_mode {
+                self.scan_cycle(
+                    now,
+                    measuring,
+                    &topo,
+                    &traffic,
+                    &mut rng,
+                    &mut states,
+                    &mut held_paths,
+                    &mut occupied,
+                    &mut measure,
+                    &mut due,
+                );
+                if due.len() * 4 < n {
+                    sparse_streak += 1;
+                    if sparse_streak >= Self::SPARSE_STREAK {
+                        // The population thinned out: rebuild the skip
+                        // indexes from the authoritative per-processor
+                        // states and resume event mode. Every remaining
+                        // event is in the future — the scan just
+                        // processed everything due through `now`.
+                        scan_mode = false;
+                        dense_streak = 0;
+                        idle.clear();
+                        next_cycle.clear();
+                        wheel = TimeWheel::new(now);
+                        for (p, state) in states.iter().enumerate() {
+                            match *state {
+                                ProcState::Idle => idle.push(p),
+                                ProcState::Attempting { retry_at, .. } => {
+                                    debug_assert!(retry_at > now, "a due attempt survived the scan");
+                                    if retry_at == now + 1 {
+                                        next_cycle.push(p);
+                                    } else {
+                                        wheel.schedule(retry_at, p);
+                                    }
+                                }
+                                ProcState::Holding { until, .. } => {
+                                    debug_assert!(until > now, "an expired hold survived the scan");
+                                    wheel.schedule(until, p);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    sparse_streak = 0;
+                }
+                now += 1;
+                continue;
+            }
 
             // 1. Events due this cycle, in id order: hold expiries release
             //    (and the processor rejoins the idle set in time for this
             //    cycle's issue trials, as in the cycle stepper); due
-            //    retries queue for the attempt round.
+            //    retries queue for the attempt round. The clock advances
+            //    by exactly one whenever `next_cycle` is non-empty, so its
+            //    entries are all due now; merge keeps id order.
             wheel.pop_due(now, &mut events);
+            if !next_cycle.is_empty() {
+                events.append(&mut next_cycle);
+                events.sort_unstable();
+            }
             due.clear();
             for &p in &events {
                 match states[p] {
@@ -482,14 +585,38 @@ impl CircuitSim {
                     &mut occupied,
                     &mut measure,
                 );
-                wheel.schedule(next_event, p);
+                if next_event == now + 1 {
+                    next_cycle.push(p);
+                } else {
+                    wheel.schedule(next_event, p);
+                }
+            }
+
+            // Dense-regime tracking: with half the population due there is
+            // nothing left to skip, so a sustained streak hands the cycle
+            // over to the reference scan body (see the doc comment).
+            if due.len() * 2 >= n {
+                dense_streak += 1;
+                if dense_streak >= Self::DENSE_STREAK {
+                    scan_mode = true;
+                    sparse_streak = 0;
+                    // The indexes go stale while scanning; the rebuild on
+                    // the way back re-derives them from `states`. Entries
+                    // buffered for `now + 1` are still discoverable there,
+                    // so nothing needs migrating.
+                    now += 1;
+                    continue;
+                }
+            } else {
+                dense_streak = 0;
             }
 
             // 4. Advance: any idle processor draws an issue trial every
             //    cycle, so the clock may only skip when the whole
             //    population is attempting or holding — then nothing can
-            //    happen before the next scheduled event.
-            if idle.is_empty() {
+            //    happen before the next scheduled event (and a buffered
+            //    next-cycle event pins the advance to exactly one cycle).
+            if idle.is_empty() && next_cycle.is_empty() {
                 match wheel.peek_min() {
                     Some(next) => now = next.max(now + 1),
                     // No idle processor and no event: nothing can ever
@@ -563,6 +690,35 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dense_fallback_transitions_stay_bit_identical() {
+        // Pins the adaptive dense-regime fallback: two processors, rare
+        // issues, long holds on a fully hot destination. While one holds,
+        // the other retries every cycle (dense: N/2 = 1 due), so the event
+        // kernel drops into scan mode; between bursts both sit idle with
+        // no due attempts for hundreds of cycles, so it rebuilds its
+        // indexes — including parked hold expiries — and resumes
+        // skipping. Instrumented runs of this config show dozens of
+        // enter/exit transitions per seed; bit-identity with the
+        // reference stepper across the transitions is the contract.
+        let cfg = CircuitConfig {
+            log2_size: 1,
+            hold_cycles: 200,
+            request_rate: 0.01,
+            hot_fraction: 1.0,
+            warmup_cycles: 200,
+            measure_cycles: 20_000,
+        };
+        let sim = CircuitSim::new(cfg, NetworkBackoff::None);
+        for seed in 0..4 {
+            assert_eq!(
+                sim.run_with(seed, Kernel::Cycle),
+                sim.run_with(seed, Kernel::Event),
+                "seed {seed}"
+            );
         }
     }
 
@@ -662,3 +818,4 @@ mod tests {
         assert!(o.collisions * 50 < o.attempts.max(1), "{o:?}");
     }
 }
+

@@ -180,13 +180,36 @@ impl Default for MemoryModule {
 /// the arbitration index that every event-driven skip-ahead kernel uses
 /// instead of rebuilding a request slice each cycle.
 ///
-/// The id-sorted vector *is* the request snapshot a cycle stepper would
-/// hand to [`MemoryModule::arbitrate`], so random arbitration indexes into
-/// the identical slice with the identical draw. The winner is picked
-/// without scanning the set: random in O(1), round-robin by binary
-/// searching the rotating base, oldest-first through a `(since, id)`
-/// ordered index that is maintained only under that policy (the other
-/// modes never pay for it).
+/// The representation is adaptive, because the two regimes it serves want
+/// opposite layouts:
+///
+/// * **Small sets** (a combining node's fan-in, a 512-processor barrier)
+///   keep the id-sorted `Vec<Request>`: `O(len)` insert/remove memmoves
+///   are cheap at this size, and random arbitration — which runs every
+///   busy cycle, far more often than insert/remove — is a *direct
+///   `O(1)` index*. Replacing this path wholesale with the tree below
+///   measurably slowed every small-N acceptance point (combining
+///   `a0_d4_none` by 4×), so the vector stays the default.
+/// * **Mega-N sets** switch to struct-of-arrays over the id space: a
+///   Fenwick (binary-indexed) tree of presence counts plus an id-indexed
+///   `since` column. The tree answers *rank* (pending ids below a bound)
+///   and *select* (k-th smallest pending id) in `O(log capacity)`, which
+///   is what makes the set usable at N = 10⁶: the sorted vector's
+///   `O(len)` memmove per insert/remove would turn one mega barrier
+///   episode into ~10¹² byte moves. The switch happens when the pending
+///   count first exceeds [`Self::SMALL_MAX`] (or at construction, when
+///   the declared capacity already exceeds it); it is one `O(capacity)`
+///   rebuild and is never undone — a set that has been mega stays SoA.
+///
+/// The arbitration semantics are identical in both layouts, because rank
+/// order over ids *is* sorted-vector order: random arbitration draws an
+/// index `k` and selects the k-th smallest pending id — exactly
+/// `requests[k].id` of the id-sorted snapshot a cycle stepper would hand
+/// to [`MemoryModule::arbitrate`]; round-robin selects the first pending
+/// id at-or-above the rotating base; oldest-first keeps its `(since, id)`
+/// ordered index, maintained only under that policy (the other modes
+/// never pay for it). No RNG draw depends on the layout, so migrating
+/// mid-run cannot perturb a simulation.
 ///
 /// Unlike [`MemoryModule`], the set keeps no presented/served statistics:
 /// skip-ahead kernels charge presented accesses in bulk when a request is
@@ -212,20 +235,130 @@ impl Default for MemoryModule {
 #[derive(Debug, Clone)]
 pub struct PendingSet {
     policy: Arbitration,
-    requests: Vec<Request>,
+    index: Index,
     /// Rotating round-robin priority; mirrors the module's last winner.
     last_winner: Option<usize>,
     /// `(since, id)` ordered view; maintained only under `OldestFirst`.
     by_age: BTreeSet<(u64, usize)>,
 }
 
+/// The set's adaptive backing store (see [`PendingSet`]).
+#[derive(Debug, Clone)]
+enum Index {
+    /// Id-sorted requests: small-set layout.
+    Sorted(Vec<Request>),
+    /// Fenwick SoA over the id space: mega-N layout.
+    Fenwick(Fenwick),
+}
+
+/// Fenwick-tree presence index plus SoA columns, keyed by processor id.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    /// Fenwick tree over `[0, capacity)`: `tree[i]` (1-based) holds the
+    /// count of pending ids in its implicit range.
+    tree: Vec<u32>,
+    /// Presence bit per id (SoA column).
+    pending: Vec<bool>,
+    /// `Request::since` per id (SoA column; valid only while pending).
+    since: Vec<u64>,
+    len: usize,
+}
+
+impl Fenwick {
+    /// An empty index sized for ids `< capacity`.
+    fn new(capacity: usize) -> Self {
+        Self {
+            tree: vec![0; capacity + 1],
+            pending: vec![false; capacity],
+            since: vec![0; capacity],
+            len: 0,
+        }
+    }
+
+    /// The id capacity (largest representable id + 1).
+    fn capacity(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Grows the id space to hold `id`, rebuilding the tree in
+    /// O(capacity) (rare: only when a caller under-sized the set).
+    fn grow_for(&mut self, id: usize) {
+        let cap = (id + 1).max(self.capacity() * 2);
+        self.pending.resize(cap, false);
+        self.since.resize(cap, 0);
+        self.tree = vec![0; cap + 1];
+        for i in 0..cap {
+            if self.pending[i] {
+                self.tree[i + 1] += 1;
+            }
+        }
+        // Linear-time Fenwick build: fold each node into its parent.
+        for i in 1..=cap {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                self.tree[parent] += self.tree[i];
+            }
+        }
+    }
+
+    /// Adds `delta` at `id` (Fenwick point update).
+    fn add(&mut self, id: usize, delta: i32) {
+        let mut i = id + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Pending ids strictly below `bound` (Fenwick prefix sum).
+    fn rank(&self, bound: usize) -> usize {
+        let mut i = bound.min(self.capacity());
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree[i] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// The k-th smallest pending id, 0-indexed (`k < len`).
+    fn select(&self, k: usize) -> usize {
+        debug_assert!(k < self.len);
+        let mut remaining = k as u32;
+        let mut pos = 0usize;
+        let mut step = self.tree.len().next_power_of_two() / 2;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        pos // 1-based tree index of the predecessor == 0-based id
+    }
+}
+
 impl PendingSet {
+    /// Pending-count bound for the sorted-vector layout; the first insert
+    /// past it (or a declared capacity above it) switches the set to the
+    /// Fenwick SoA. Chosen from the acceptance benches: at N ≤ 512 the
+    /// vector wins every point, at N = 4096 the memmoves already lose
+    /// badly, so the crossover sits between.
+    const SMALL_MAX: usize = 1024;
+
     /// Creates an empty set with the given arbitration policy, sized for
-    /// `capacity` simultaneous requesters.
+    /// `capacity` simultaneous requesters (it grows on demand if a larger
+    /// id shows up).
     pub fn new(policy: Arbitration, capacity: usize) -> Self {
+        let index = if capacity > Self::SMALL_MAX {
+            Index::Fenwick(Fenwick::new(capacity))
+        } else {
+            Index::Sorted(Vec::with_capacity(capacity))
+        };
         Self {
             policy,
-            requests: Vec::with_capacity(capacity),
+            index,
             last_winner: None,
             by_age: BTreeSet::new(),
         }
@@ -238,21 +371,80 @@ impl PendingSet {
 
     /// Number of pending requests.
     pub fn len(&self) -> usize {
-        self.requests.len()
+        match &self.index {
+            Index::Sorted(requests) => requests.len(),
+            Index::Fenwick(fw) => fw.len,
+        }
     }
 
     /// Whether no request is pending.
     pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
+        self.len() == 0
+    }
+
+    /// One-way migration to the Fenwick SoA, triggered by the insert that
+    /// pushes the pending count past [`Self::SMALL_MAX`]. Pure layout
+    /// change: same pending ids, same `since` values, no RNG involvement.
+    fn migrate(&mut self) {
+        let Index::Sorted(requests) = &self.index else {
+            return;
+        };
+        let cap = requests.last().map_or(0, |r| r.id + 1);
+        let mut fw = Fenwick::new(cap);
+        for req in requests {
+            fw.pending[req.id] = true;
+            fw.since[req.id] = req.since;
+            fw.tree[req.id + 1] = 1;
+        }
+        fw.len = requests.len();
+        for i in 1..=cap {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= cap {
+                fw.tree[parent] += fw.tree[i];
+            }
+        }
+        self.index = Index::Fenwick(fw);
+    }
+
+    /// The k-th smallest pending id, 0-indexed (`k < len`).
+    fn select(&self, k: usize) -> usize {
+        match &self.index {
+            Index::Sorted(requests) => requests[k].id,
+            Index::Fenwick(fw) => fw.select(k),
+        }
+    }
+
+    /// Pending ids strictly below `bound`.
+    fn rank(&self, bound: usize) -> usize {
+        match &self.index {
+            Index::Sorted(requests) => requests.partition_point(|r| r.id < bound),
+            Index::Fenwick(fw) => fw.rank(bound),
+        }
     }
 
     /// Inserts a request; `req.id` must not already be pending.
     pub fn insert(&mut self, req: Request) {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&req.id))
-            .expect_err("processor already pending");
-        self.requests.insert(at, req);
+        match &mut self.index {
+            Index::Sorted(requests) => {
+                let at = requests
+                    .binary_search_by(|r| r.id.cmp(&req.id))
+                    .expect_err("processor already pending");
+                requests.insert(at, req);
+                if requests.len() > Self::SMALL_MAX {
+                    self.migrate();
+                }
+            }
+            Index::Fenwick(fw) => {
+                if req.id >= fw.capacity() {
+                    fw.grow_for(req.id);
+                }
+                assert!(!fw.pending[req.id], "processor already pending");
+                fw.pending[req.id] = true;
+                fw.since[req.id] = req.since;
+                fw.add(req.id, 1);
+                fw.len += 1;
+            }
+        }
         if self.policy == Arbitration::OldestFirst {
             self.by_age.insert((req.since, req.id));
         }
@@ -260,11 +452,24 @@ impl PendingSet {
 
     /// Removes and returns processor `id`'s request.
     pub fn remove(&mut self, id: usize) -> Request {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
-        let req = self.requests.remove(at);
+        let req = match &mut self.index {
+            Index::Sorted(requests) => {
+                let at = requests
+                    .binary_search_by(|r| r.id.cmp(&id))
+                    .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
+                requests.remove(at)
+            }
+            Index::Fenwick(fw) => {
+                assert!(
+                    id < fw.capacity() && fw.pending[id],
+                    "processor must be pending"
+                );
+                fw.pending[id] = false;
+                fw.add(id, -1);
+                fw.len -= 1;
+                Request::new(id, fw.since[id])
+            }
+        };
         if self.policy == Arbitration::OldestFirst {
             self.by_age.remove(&(req.since, req.id));
         }
@@ -273,11 +478,21 @@ impl PendingSet {
 
     /// Re-ages processor `id`'s pending request to `since`.
     pub fn refresh(&mut self, id: usize, since: u64) {
-        let at = self
-            .requests
-            .binary_search_by(|r| r.id.cmp(&id))
-            .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
-        let old = std::mem::replace(&mut self.requests[at].since, since);
+        let old = match &mut self.index {
+            Index::Sorted(requests) => {
+                let at = requests
+                    .binary_search_by(|r| r.id.cmp(&id))
+                    .expect("processor must be pending"); // abs-lint: allow(panic-path) -- callers pass ids taken from the request list
+                std::mem::replace(&mut requests[at].since, since)
+            }
+            Index::Fenwick(fw) => {
+                assert!(
+                    id < fw.capacity() && fw.pending[id],
+                    "processor must be pending"
+                );
+                std::mem::replace(&mut fw.since[id], since)
+            }
+        };
         if self.policy == Arbitration::OldestFirst {
             self.by_age.remove(&(old, id));
             self.by_age.insert((since, id));
@@ -289,19 +504,20 @@ impl PendingSet {
     /// non-empty set only) and the same tie-breaks. The winner stays in the
     /// set; the caller decides whether serving removes it.
     pub fn arbitrate(&mut self, rng: &mut Xoshiro256PlusPlus) -> Option<usize> {
-        if self.requests.is_empty() {
+        let len = self.len();
+        if len == 0 {
             return None;
         }
         let winner = match self.policy {
-            Arbitration::Random => self.requests[rng.next_below_usize(self.requests.len())].id,
+            Arbitration::Random => self.select(rng.next_below_usize(len)),
             Arbitration::RoundRobin => {
                 // Smallest id at-or-above the rotating base, wrapping to
                 // the smallest id overall.
                 let base = self.last_winner.map_or(0, |w| w + 1);
-                let at = self.requests.partition_point(|r| r.id < base);
-                self.requests[if at < self.requests.len() { at } else { 0 }].id
+                let at = self.rank(base);
+                self.select(if at < len { at } else { 0 })
             }
-            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1, // abs-lint: allow(panic-path) -- by_age is maintained in lockstep with the non-empty request list
+            Arbitration::OldestFirst => self.by_age.first().expect("index tracks requests").1, // abs-lint: allow(panic-path) -- by_age is maintained in lockstep with the non-empty pending set
         };
         self.last_winner = Some(winner);
         Some(winner)
@@ -503,6 +719,85 @@ mod tests {
                     pending.retain(|r| r.id != w);
                     set.remove(w);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pending_set_grows_past_declared_capacity() {
+        let mut set = PendingSet::new(Arbitration::RoundRobin, 2);
+        set.insert(Request::new(1, 0));
+        set.insert(Request::new(100, 0));
+        assert_eq!(set.len(), 2);
+        let mut r = rng();
+        assert_eq!(set.arbitrate(&mut r), Some(1));
+        assert_eq!(set.arbitrate(&mut r), Some(100));
+        assert_eq!(set.arbitrate(&mut r), Some(1));
+        assert_eq!(set.remove(100).id, 100);
+        assert_eq!(set.remove(1).id, 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn pending_set_rank_select_at_scale() {
+        // The Fenwick paths (insert, remove, random select) must stay
+        // consistent over a large sparse id space — the mega-N regime the
+        // SoA layout exists for.
+        let n = 1 << 16;
+        let mut set = PendingSet::new(Arbitration::Random, n);
+        for id in (0..n).step_by(3) {
+            set.insert(Request::new(id, id as u64));
+        }
+        let expected = (n + 2) / 3;
+        assert_eq!(set.len(), expected);
+        // k-th smallest pending id is 3k.
+        assert_eq!(set.select(0), 0);
+        assert_eq!(set.select(1), 3);
+        assert_eq!(set.select(expected - 1), 3 * (expected - 1));
+        assert_eq!(set.rank(0), 0);
+        assert_eq!(set.rank(4), 2);
+        assert_eq!(set.rank(n), expected);
+        // Churn: removing shifts every later rank down by one.
+        set.remove(3);
+        assert_eq!(set.select(1), 6);
+        assert_eq!(set.rank(7), 2);
+    }
+
+    #[test]
+    fn pending_set_migration_is_invisible() {
+        // A set that starts in the sorted-vector layout and crosses
+        // SMALL_MAX mid-run must arbitrate exactly like one that was
+        // Fenwick from construction: the layout is never allowed to
+        // perturb a draw or a winner.
+        let n = 2 * PendingSet::SMALL_MAX;
+        for policy in [
+            Arbitration::Random,
+            Arbitration::RoundRobin,
+            Arbitration::OldestFirst,
+        ] {
+            let mut small = PendingSet::new(policy, 4); // migrates mid-run
+            let mut big = PendingSet::new(policy, n); // Fenwick from birth
+            let mut r_small = rng();
+            let mut r_big = rng();
+            let mut driver = Xoshiro256PlusPlus::seed_from_u64(9);
+            for id in 0..n {
+                small.insert(Request::new(id, id as u64));
+                big.insert(Request::new(id, id as u64));
+                if driver.next_bool(0.3) {
+                    assert_eq!(
+                        small.arbitrate(&mut r_small),
+                        big.arbitrate(&mut r_big),
+                        "policy {policy:?} after insert {id}"
+                    );
+                }
+            }
+            assert_eq!(small.len(), n);
+            // Drain through arbitration; winners must stay in lockstep.
+            while !small.is_empty() {
+                let (a, b) = (small.arbitrate(&mut r_small), big.arbitrate(&mut r_big));
+                assert_eq!(a, b, "policy {policy:?} at len {}", small.len());
+                let w = a.expect("non-empty set always yields a winner");
+                assert_eq!(small.remove(w).since, big.remove(w).since);
             }
         }
     }

@@ -170,6 +170,11 @@ fn event_row(event: &Event) -> Value {
 /// Wall-clock timestamps are inherently nondeterministic; they live only
 /// in the trace file, mirroring the manifest's timing-fields rule
 /// (DESIGN §7).
+///
+/// Events come out in per-lane execution order, not job-id order: under
+/// work-stealing dispatch a worker's job ids are not monotone in time, so
+/// the spans are sorted by `(lane, begin)` to keep each lane's timeline
+/// valid.
 pub fn exec_report_lanes<T>(report: &RunReport<T>) -> (Vec<Event>, Vec<(u32, String)>) {
     let mut events = Vec::with_capacity(report.outcomes.len() * 2);
     for outcome in &report.outcomes {
@@ -188,6 +193,10 @@ pub fn exec_report_lanes<T>(report: &RunReport<T>) -> (Vec<Event>, Vec<(u32, Str
         events.push(open);
         events.push(close);
     }
+    // Begin/End pairs were pushed together, so sorting by (lane, ts) keeps
+    // each span contiguous (a worker runs jobs back-to-back, never
+    // overlapping) while restoring execution order within the lane.
+    events.sort_by(|a, b| a.tid.cmp(&b.tid).then(a.ts.total_cmp(&b.ts)));
     let lanes = report
         .workers
         .iter()

@@ -1,0 +1,212 @@
+//! A fixed-capacity bitset over small integer ids.
+//!
+//! The event-driven kernels keep sets of processor ids that must be
+//! visited **in ascending id order** (the cycle stepper's scan order, which
+//! the bit-identity contract pins down). A sorted `Vec<usize>` gives that
+//! order but costs an `O(len)` memmove per insert — ruinous when a
+//! queue-on-threshold policy parks most of an N = 10⁶ barrier. A
+//! [`FixedBitset`] makes insert/remove O(1), keeps the whole set in
+//! `capacity / 8` bytes (compact enough to stay cache-resident at mega-N),
+//! and iterates set bits in ascending order via trailing-zeros scanning.
+
+/// A set of `usize` ids below a fixed capacity, stored one bit per id.
+///
+/// # Examples
+///
+/// ```
+/// use abs_sim::bitset::FixedBitset;
+///
+/// let mut set = FixedBitset::new(200);
+/// set.insert(150);
+/// set.insert(3);
+/// set.insert(64);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![3, 64, 150]);
+/// assert!(set.contains(64));
+/// set.remove(64);
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FixedBitset {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl FixedBitset {
+    /// Creates an empty set accepting ids in `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// The id bound this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of ids currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `id` is in the set (ids at or above capacity are never in).
+    pub fn contains(&self, id: usize) -> bool {
+        id < self.capacity && self.words[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Adds `id` to the set. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= capacity`.
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} out of capacity {}", self.capacity);
+        let word = &mut self.words[id / 64];
+        let mask = 1u64 << (id % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `id` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, id: usize) -> bool {
+        if id >= self.capacity {
+            return false;
+        }
+        let word = &mut self.words[id / 64];
+        let mask = 1u64 << (id % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Empties the set, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates the ids in the set in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over the ids of a [`FixedBitset`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a FixedBitset {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = FixedBitset::new(130);
+        assert!(set.is_empty());
+        assert!(set.insert(0));
+        assert!(set.insert(63));
+        assert!(set.insert(64));
+        assert!(set.insert(129));
+        assert!(!set.insert(64), "duplicate insert reports false");
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(0) && set.contains(129));
+        assert!(!set.contains(1));
+        assert!(set.remove(63));
+        assert!(!set.remove(63));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_matches_sorted_vec() {
+        // The event kernels rely on iter() visiting ids exactly as a
+        // sorted Vec<usize> would.
+        let ids = [77usize, 3, 128, 64, 63, 0, 200, 199, 5];
+        let mut set = FixedBitset::new(256);
+        for &id in &ids {
+            set.insert(id);
+        }
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(set.iter().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut set = FixedBitset::new(100);
+        set.insert(42);
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(42));
+        assert_eq!(set.capacity(), 100);
+        set.insert(99);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn zero_capacity_behaves() {
+        let mut set = FixedBitset::new(0);
+        assert!(set.is_empty());
+        assert!(!set.contains(0));
+        assert!(!set.remove(0));
+        assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        FixedBitset::new(8).insert(8);
+    }
+
+    #[test]
+    fn dense_set_round_trips() {
+        let n = 1000;
+        let mut set = FixedBitset::new(n);
+        for id in 0..n {
+            set.insert(id);
+        }
+        assert_eq!(set.len(), n);
+        assert_eq!(set.iter().collect::<Vec<_>>(), (0..n).collect::<Vec<_>>());
+    }
+}

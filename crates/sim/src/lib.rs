@@ -22,6 +22,8 @@
 //!   kernel (bit-identical by contract; `cycle` is the oracle).
 //! * [`wheel`] — the bucketed [`wheel::TimeWheel`] that every skip-ahead
 //!   kernel parks its future wake-ups in.
+//! * [`bitset`] — a fixed-capacity [`bitset::FixedBitset`] with ascending
+//!   iteration, the compact id-set the event kernels use at mega-`N`.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod check;
 pub mod kernel;
 pub mod rng;

@@ -139,6 +139,32 @@ impl Xoshiro256PlusPlus {
         range.start + self.next_below(range.end - range.start)
     }
 
+    /// Fills `out` with uniformly distributed values in `[0, bound)`.
+    ///
+    /// This is the batched form of [`next_below`](Self::next_below) for
+    /// mega-`N` state initialization: the Lemire rejection threshold is
+    /// computed once for the whole batch instead of once per rejected
+    /// draw, and the multiply-high loop stays tight. The generator
+    /// consumes **exactly** the same `next_u64` stream as the equivalent
+    /// sequence of `next_below(bound)` calls — the rejection condition
+    /// `low_word < 2^64 mod bound` is identical — so batching never
+    /// changes simulation results (asserted by the test suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn fill_below(&mut self, bound: u64, out: &mut [u64]) {
+        assert!(bound > 0, "bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        for slot in out {
+            let mut m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128).wrapping_mul(bound as u128);
+            }
+            *slot = (m >> 64) as u64;
+        }
+    }
+
     /// Returns a uniformly distributed `usize` in `[0, bound)`.
     ///
     /// # Panics
@@ -189,15 +215,11 @@ impl Xoshiro256PlusPlus {
     /// any time instant during the interval A". A `span` of zero yields `n`
     /// simultaneous arrivals at cycle zero.
     pub fn uniform_arrivals(&mut self, n: usize, span: u64) -> Vec<u64> {
-        let mut arrivals: Vec<u64> = (0..n)
-            .map(|_| {
-                if span == 0 {
-                    0
-                } else {
-                    self.next_below(span + 1)
-                }
-            })
-            .collect();
+        let mut arrivals = vec![0u64; n];
+        if span > 0 {
+            // Batched draw; consumes the same stream as n next_below calls.
+            self.fill_below(span + 1, &mut arrivals);
+        }
         arrivals.sort_unstable();
         arrivals
     }
@@ -259,6 +281,30 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         Xoshiro256PlusPlus::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn fill_below_matches_sequential_draws() {
+        // The batched path must consume the exact next_u64 stream the
+        // one-at-a-time path does, including through Lemire rejections
+        // (exercised by awkward bounds near powers of two).
+        for bound in [1u64, 2, 3, 10, 1001, (1 << 63) + 1, u64::MAX - 1] {
+            let mut batched = Xoshiro256PlusPlus::seed_from_u64(0xF1FF);
+            let mut serial = Xoshiro256PlusPlus::seed_from_u64(0xF1FF);
+            let mut out = vec![0u64; 257];
+            batched.fill_below(bound, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, serial.next_below(bound), "bound {bound} draw {i}");
+            }
+            // Generator states line up afterwards too.
+            assert_eq!(batched.next_u64(), serial.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn fill_below_zero_panics() {
+        Xoshiro256PlusPlus::seed_from_u64(0).fill_below(0, &mut [0; 4]);
     }
 
     #[test]

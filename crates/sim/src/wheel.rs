@@ -47,6 +47,9 @@ type Entry = (u64, usize);
 pub struct TimeWheel {
     /// `slots[t % SLOTS]` holds near wake-ups due at cycle `t`.
     slots: Vec<Vec<Entry>>,
+    /// Bit `s` set iff `slots[s]` is non-empty: `peek_min` scans these four
+    /// words instead of probing up to [`Self::SLOTS`] vectors.
+    occupancy: [u64; Self::SLOTS / 64],
     /// Wake-ups at or beyond `horizon`, keyed by due cycle.
     far: BTreeMap<u64, Vec<usize>>,
     /// Slots cover due cycles in `[now, horizon)`; `horizon = now + SLOTS`.
@@ -64,10 +67,17 @@ impl TimeWheel {
     pub fn new(now: u64) -> Self {
         Self {
             slots: vec![Vec::new(); Self::SLOTS],
+            occupancy: [0; Self::SLOTS / 64],
             far: BTreeMap::new(),
             now,
             len: 0,
         }
+    }
+
+    /// Marks slot `s` occupied.
+    #[inline]
+    fn mark(&mut self, s: usize) {
+        self.occupancy[s / 64] |= 1u64 << (s % 64);
     }
 
     /// Scheduled wake-ups not yet popped.
@@ -88,7 +98,9 @@ impl TimeWheel {
         debug_assert!(time >= self.now, "wake-up at {time} scheduled in the past of {}", self.now);
         self.len += 1;
         if time - self.now < Self::SLOTS as u64 {
-            self.slots[(time % Self::SLOTS as u64) as usize].push((time, id));
+            let s = (time % Self::SLOTS as u64) as usize;
+            self.slots[s].push((time, id));
+            self.mark(s);
         } else {
             self.far.entry(time).or_default().push(id);
         }
@@ -112,12 +124,15 @@ impl TimeWheel {
                 break;
             }
             let ids = self.far.remove(&t).expect("peeked key exists"); // abs-lint: allow(panic-path) -- the key was just peeked from the same map
+            let s = (t % Self::SLOTS as u64) as usize;
             for id in ids {
-                self.slots[(t % Self::SLOTS as u64) as usize].push((t, id));
+                self.slots[s].push((t, id));
             }
+            self.mark(s);
         }
         self.now = now;
-        let slot = &mut self.slots[(now % Self::SLOTS as u64) as usize];
+        let s = (now % Self::SLOTS as u64) as usize;
+        let slot = &mut self.slots[s];
         let mut i = 0;
         while i < slot.len() {
             if slot[i].0 <= now {
@@ -127,6 +142,9 @@ impl TimeWheel {
                 i += 1;
             }
         }
+        if slot.is_empty() {
+            self.occupancy[s / 64] &= !(1u64 << (s % 64));
+        }
         self.len -= due.len();
         due.sort_unstable();
     }
@@ -134,25 +152,50 @@ impl TimeWheel {
     /// The earliest pending wake-up cycle, or `None` when empty.
     ///
     /// Called only when the kernel has nothing runnable and is about to
-    /// jump the clock. Costs O(jump distance), not O(entries): every near
-    /// entry's due time is in `[now, now + SLOTS)` (dues at `now` are
-    /// popped before the clock moves, and jumps land on the minimum, so
-    /// nothing is ever left behind the clock), which means a slot holds at
-    /// most one distinct due time — two times with the same residue would
-    /// be `SLOTS` apart. Walking the slots in time order from `now` thus
-    /// returns the minimum at the first non-empty slot; the far map only
-    /// holds times at or beyond the horizon, so it cannot undercut a near
-    /// hit.
+    /// jump the clock. Every near entry's due time is in `[now, now +
+    /// SLOTS)` (dues at `now` are popped before the clock moves, and jumps
+    /// land on the minimum, so nothing is ever left behind the clock),
+    /// which means a slot holds at most one distinct due time — two times
+    /// with the same residue would be `SLOTS` apart. The first occupied
+    /// slot in circular time order from `now` therefore holds the minimum;
+    /// the occupancy bitmap finds it in at most `SLOTS / 64 + 1` word
+    /// scans (no per-slot probing). The far map only holds times at or
+    /// beyond the horizon, so it cannot undercut a near hit.
     pub fn peek_min(&self) -> Option<u64> {
-        for offset in 0..Self::SLOTS as u64 {
-            let t = self.now + offset;
-            let slot = &self.slots[(t % Self::SLOTS as u64) as usize];
-            if let Some(&(slot_t, _)) = slot.first() {
-                debug_assert_eq!(slot_t, t, "slot holds a second due time");
-                return Some(slot_t);
-            }
+        if let Some(s) = self.first_occupied() {
+            let &(slot_t, _) = self.slots[s]
+                .first()
+                .expect("occupancy bit set on an empty slot"); // abs-lint: allow(panic-path) -- bits are cleared whenever a slot drains
+            debug_assert!(slot_t >= self.now, "stale entry behind the clock");
+            return Some(slot_t);
         }
         self.far.first_key_value().map(|(&t, _)| t)
+    }
+
+    /// Index of the first occupied slot in circular order starting at
+    /// `now % SLOTS`, via the occupancy bitmap.
+    fn first_occupied(&self) -> Option<usize> {
+        const WORDS: usize = TimeWheel::SLOTS / 64;
+        let start = (self.now % Self::SLOTS as u64) as usize;
+        let (start_word, start_bit) = (start / 64, start % 64);
+        // Head of the start word (bits at or after `start`).
+        let head = self.occupancy[start_word] & (u64::MAX << start_bit);
+        if head != 0 {
+            return Some(start_word * 64 + head.trailing_zeros() as usize);
+        }
+        // Remaining words in circular order, ending with the wrapped tail
+        // of the start word (bits before `start`).
+        for step in 1..=WORDS {
+            let w = (start_word + step) % WORDS;
+            let mut bits = self.occupancy[w];
+            if w == start_word {
+                bits &= (1u64 << start_bit) - 1;
+            }
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 }
 
@@ -215,6 +258,40 @@ mod tests {
         assert_eq!(pop(&mut wheel, 2), vec![2]);
         assert_eq!(wheel.peek_min(), Some(1 + TimeWheel::SLOTS as u64));
         assert_eq!(pop(&mut wheel, 1 + TimeWheel::SLOTS as u64), vec![1]);
+    }
+
+    #[test]
+    fn peek_min_matches_naive_min_under_churn() {
+        // Drive the wheel through a random schedule/pop workload while
+        // shadowing it with a plain sorted list; peek_min (the occupancy-
+        // bitmap scan) must always agree with the true minimum.
+        use crate::rng::Xoshiro256PlusPlus;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0x11EE1);
+        let mut wheel = TimeWheel::new(0);
+        let mut shadow: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        let mut due = Vec::new();
+        for step in 0..2_000 {
+            // Schedule a burst at mixed distances: same-slot, near, far.
+            for id in 0..(rng.next_below(4) as usize) {
+                let t = now + 1 + rng.next_below(600);
+                wheel.schedule(t, id);
+                shadow.push(t);
+            }
+            assert_eq!(wheel.peek_min(), shadow.iter().copied().min(), "step {step}");
+            // Advance: half the time by one cycle, half by jumping.
+            now = if rng.next_bool(0.5) {
+                now + 1
+            } else {
+                match wheel.peek_min() {
+                    Some(t) => t,
+                    None => now + 1,
+                }
+            };
+            wheel.pop_due(now, &mut due);
+            shadow.retain(|&t| t > now);
+            assert_eq!(wheel.len(), shadow.len(), "step {step}");
+        }
     }
 
     #[test]
