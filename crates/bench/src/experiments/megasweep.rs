@@ -68,7 +68,8 @@ fn mega_policies() -> [BackoffPolicy; 3] {
 /// at the smallest grid `N` and scaled down inversely with `n` (never
 /// below one rep) so every point costs about the same simulated work.
 fn scaled_reps(base: u32, smallest: usize, n: usize) -> u32 {
-    ((u64::from(base) * smallest as u64) / n as u64).clamp(1, u64::from(base)) as u32
+    let scaled = ((u64::from(base) * smallest as u64) / n as u64).clamp(1, u64::from(base));
+    u32::try_from(scaled).unwrap_or(base) // clamp bound: scaled <= base
 }
 
 /// One measured flat grid point.

@@ -106,7 +106,7 @@ pub fn render_one(id: &str, config: &ReproConfig, trace: bool) -> Rendered {
 pub fn assemble_sim_trace(units: Vec<(String, Vec<Event>)>) -> ChromeTrace {
     let mut trace = ChromeTrace::new();
     for (i, (name, events)) in units.into_iter().enumerate() {
-        trace.add_unit(i as u32 + 1, name, events);
+        trace.add_unit(abs_obs::trace::lane(i) + 1, name, events);
     }
     trace
 }

@@ -184,7 +184,7 @@ impl MemorySystem for SnoopyBus {
     }
 
     fn tick(&mut self, _cycle: u64) {
-        self.stats.cycles += 1;
+        self.stats.cycles = self.stats.cycles.saturating_add(1);
     }
 }
 

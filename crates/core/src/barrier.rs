@@ -35,7 +35,7 @@
 //! a request set is non-empty; skipped dead cycles are never sampled.
 
 use abs_net::module::{Arbitration, MemoryModule, PendingSet, Request};
-use abs_obs::trace::{Noop, TraceSink};
+use abs_obs::trace::{lane, Noop, TraceSink};
 use abs_sim::bitset::FixedBitset;
 use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
@@ -339,8 +339,8 @@ impl BarrierSim {
                 match procs.phase[id] {
                     Phase::NotArrived if procs.arrival[id] <= now => {
                         procs.phase[id] = Phase::VarRequest { since: now };
-                        sink.span_begin(id as u32, now, "barrier", &[]);
-                        sink.span_begin(id as u32, now, "var", &[]);
+                        sink.span_begin(lane(id), now, "barrier", &[]);
+                        sink.span_begin(lane(id), now, "var", &[]);
                     }
                     Phase::Waiting { until } if until <= now => {
                         procs.phase[id] = Phase::FlagPoll { since: now };
@@ -378,8 +378,8 @@ impl BarrierSim {
                 "processed a dead cycle at {now}"
             );
             if sink.enabled() {
-                sink.counter(n as u32, now, "var_queue", &[("waiters", var_reqs.len() as f64)]);
-                sink.counter(n as u32, now, "flag_queue", &[("waiters", flag_reqs.len() as f64)]);
+                sink.counter(lane(n), now, "var_queue", &[("waiters", var_reqs.len() as f64)]);
+                sink.counter(lane(n), now, "flag_queue", &[("waiters", flag_reqs.len() as f64)]);
             }
 
             // Serve at most one barrier-variable access.
@@ -387,7 +387,7 @@ impl BarrierSim {
                 barrier_count += 1;
                 let i = barrier_count;
                 sink.span_end(
-                    winner as u32,
+                    lane(winner),
                     now,
                     "var",
                     &[
@@ -397,7 +397,7 @@ impl BarrierSim {
                 );
                 if i == n {
                     procs.phase[winner] = Phase::FlagWrite { since: now + 1 };
-                    sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
+                    sink.span_begin(lane(winner), now + 1, "flag-write", &[]);
                 } else {
                     let wait = self.policy.variable_wait(n, i);
                     procs.phase[winner] = if wait == 0 {
@@ -406,8 +406,8 @@ impl BarrierSim {
                         // The span is scheduled in full here: both edges are
                         // known, and the processor's next event cannot
                         // precede `until`, so lane time stays monotone.
-                        sink.span_begin(winner as u32, now + 1, "backoff", &[("wait", wait as f64)]);
-                        sink.span_end(winner as u32, now + 1 + wait, "backoff", &[]);
+                        sink.span_begin(lane(winner), now + 1, "backoff", &[("wait", wait as f64)]);
+                        sink.span_end(lane(winner), now + 1 + wait, "backoff", &[]);
                         Phase::Waiting {
                             until: now + 1 + wait,
                         }
@@ -424,9 +424,9 @@ impl BarrierSim {
                         procs.phase[winner] = Phase::Done;
                         procs.done_at[winner] = now;
                         done += 1;
-                        sink.span_end(winner as u32, now, "flag-write", &[]);
-                        sink.instant(winner as u32, now, "flag-set", &[]);
-                        sink.span_end(winner as u32, now, "barrier", &[]);
+                        sink.span_end(lane(winner), now, "flag-write", &[]);
+                        sink.instant(lane(winner), now, "flag-set", &[]);
+                        sink.span_end(lane(winner), now, "barrier", &[]);
                         // Wake everything already parked.
                         let wake = now + self.policy.wake_cost();
                         for qid in 0..n {
@@ -437,8 +437,8 @@ impl BarrierSim {
                                 // more network transaction.
                                 procs.flag_after[qid] += 1;
                                 done += 1;
-                                sink.instant(qid as u32, wake, "wake", &[]);
-                                sink.span_end(qid as u32, wake, "barrier", &[]);
+                                sink.instant(lane(qid), wake, "wake", &[]);
+                                sink.span_end(lane(qid), wake, "barrier", &[]);
                             }
                         }
                     }
@@ -447,12 +447,12 @@ impl BarrierSim {
                             procs.phase[winner] = Phase::Done;
                             procs.done_at[winner] = now;
                             done += 1;
-                            sink.instant(winner as u32, now, "poll-hit", &[]);
-                            sink.span_end(winner as u32, now, "barrier", &[]);
+                            sink.instant(lane(winner), now, "poll-hit", &[]);
+                            sink.span_end(lane(winner), now, "barrier", &[]);
                         } else {
                             procs.polls[winner] += 1;
                             sink.instant(
-                                winner as u32,
+                                lane(winner),
                                 now,
                                 "poll-miss",
                                 &[("polls", f64::from(procs.polls[winner]))],
@@ -466,12 +466,12 @@ impl BarrierSim {
                                 }
                                 Some(d) => {
                                     sink.span_begin(
-                                        winner as u32,
+                                        lane(winner),
                                         now + 1,
                                         "backoff",
                                         &[("wait", d as f64)],
                                     );
-                                    sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
+                                    sink.span_end(lane(winner), now + 1 + d, "backoff", &[]);
                                     procs.phase[winner] = Phase::Waiting { until: now + 1 + d };
                                 }
                                 None => {
@@ -480,7 +480,7 @@ impl BarrierSim {
                                     procs.phase[winner] = Phase::Queued;
                                     procs.was_queued[winner] = true;
                                     procs.flag_before[winner] += 1;
-                                    sink.instant(winner as u32, now, "park", &[]);
+                                    sink.instant(lane(winner), now, "park", &[]);
                                 }
                             }
                         }
@@ -586,8 +586,8 @@ impl BarrierSim {
                     Phase::NotArrived => {
                         procs.phase[id] = Phase::VarRequest { since: now };
                         var_pending.insert(Request::new(id, now));
-                        sink.span_begin(id as u32, now, "barrier", &[]);
-                        sink.span_begin(id as u32, now, "var", &[]);
+                        sink.span_begin(lane(id), now, "barrier", &[]);
+                        sink.span_begin(lane(id), now, "var", &[]);
                     }
                     Phase::Waiting { until } => {
                         debug_assert!(until <= now);
@@ -607,8 +607,8 @@ impl BarrierSim {
                 "processed a dead cycle at {now}"
             );
             if sink.enabled() {
-                sink.counter(n as u32, now, "var_queue", &[("waiters", var_pending.len() as f64)]);
-                sink.counter(n as u32, now, "flag_queue", &[("waiters", flag_pending.len() as f64)]);
+                sink.counter(lane(n), now, "var_queue", &[("waiters", var_pending.len() as f64)]);
+                sink.counter(lane(n), now, "flag_queue", &[("waiters", flag_pending.len() as f64)]);
             }
 
             // Arbitrate both modules on this cycle's snapshots. The RNG
@@ -627,7 +627,7 @@ impl BarrierSim {
                 // Presented on every cycle since enqueue, served or denied.
                 procs.var_accesses[winner] += now - req.since + 1;
                 sink.span_end(
-                    winner as u32,
+                    lane(winner),
                     now,
                     "var",
                     &[
@@ -639,7 +639,7 @@ impl BarrierSim {
                     procs.phase[winner] = Phase::FlagWrite { since: now + 1 };
                     flag_pending.insert(Request::new(winner, now + 1));
                     flag_from[winner] = now + 1;
-                    sink.span_begin(winner as u32, now + 1, "flag-write", &[]);
+                    sink.span_begin(lane(winner), now + 1, "flag-write", &[]);
                 } else {
                     let wait = self.policy.variable_wait(n, i);
                     if wait == 0 {
@@ -647,8 +647,8 @@ impl BarrierSim {
                         flag_pending.insert(Request::new(winner, now + 1));
                         flag_from[winner] = now + 1;
                     } else {
-                        sink.span_begin(winner as u32, now + 1, "backoff", &[("wait", wait as f64)]);
-                        sink.span_end(winner as u32, now + 1 + wait, "backoff", &[]);
+                        sink.span_begin(lane(winner), now + 1, "backoff", &[("wait", wait as f64)]);
+                        sink.span_end(lane(winner), now + 1 + wait, "backoff", &[]);
                         procs.phase[winner] = Phase::Waiting { until: now + 1 + wait };
                         wheel.schedule(now + 1 + wait, winner);
                     }
@@ -666,9 +666,9 @@ impl BarrierSim {
                         procs.phase[winner] = Phase::Done;
                         procs.done_at[winner] = now;
                         done += 1;
-                        sink.span_end(winner as u32, now, "flag-write", &[]);
-                        sink.instant(winner as u32, now, "flag-set", &[]);
-                        sink.span_end(winner as u32, now, "barrier", &[]);
+                        sink.span_end(lane(winner), now, "flag-write", &[]);
+                        sink.instant(lane(winner), now, "flag-set", &[]);
+                        sink.span_end(lane(winner), now, "barrier", &[]);
                         // Wake everything already parked, in id order (the
                         // bitset iterates ascending).
                         let wake = now + self.policy.wake_cost();
@@ -679,8 +679,8 @@ impl BarrierSim {
                             // more network transaction.
                             procs.flag_after[qid] += 1;
                             done += 1;
-                            sink.instant(qid as u32, wake, "wake", &[]);
-                            sink.span_end(qid as u32, wake, "barrier", &[]);
+                            sink.instant(lane(qid), wake, "wake", &[]);
+                            sink.span_end(lane(qid), wake, "barrier", &[]);
                         }
                         queued.clear();
                     }
@@ -691,12 +691,12 @@ impl BarrierSim {
                             procs.phase[winner] = Phase::Done;
                             procs.done_at[winner] = now;
                             done += 1;
-                            sink.instant(winner as u32, now, "poll-hit", &[]);
-                            sink.span_end(winner as u32, now, "barrier", &[]);
+                            sink.instant(lane(winner), now, "poll-hit", &[]);
+                            sink.span_end(lane(winner), now, "barrier", &[]);
                         } else {
                             procs.polls[winner] += 1;
                             sink.instant(
-                                winner as u32,
+                                lane(winner),
                                 now,
                                 "poll-miss",
                                 &[("polls", f64::from(procs.polls[winner]))],
@@ -715,12 +715,12 @@ impl BarrierSim {
                                 }
                                 Some(d) => {
                                     sink.span_begin(
-                                        winner as u32,
+                                        lane(winner),
                                         now + 1,
                                         "backoff",
                                         &[("wait", d as f64)],
                                     );
-                                    sink.span_end(winner as u32, now + 1 + d, "backoff", &[]);
+                                    sink.span_end(lane(winner), now + 1 + d, "backoff", &[]);
                                     flag_pending.remove(winner);
                                     procs.charge_flag(winner, flag_from[winner], now, flag_set_at);
                                     procs.phase[winner] = Phase::Waiting { until: now + 1 + d };
@@ -735,7 +735,7 @@ impl BarrierSim {
                                     procs.was_queued[winner] = true;
                                     procs.flag_before[winner] += 1;
                                     queued.insert(winner);
-                                    sink.instant(winner as u32, now, "park", &[]);
+                                    sink.instant(lane(winner), now, "park", &[]);
                                 }
                             }
                         }

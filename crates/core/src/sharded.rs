@@ -134,7 +134,11 @@ impl ShardedBarrierRun {
 
     /// Total network accesses: every shard episode plus the root episode.
     pub fn total_accesses(&self) -> u64 {
-        self.shards.iter().map(|s| s.total_accesses).sum::<u64>() + self.root.total_accesses()
+        self.shards
+            .iter()
+            .map(|s| s.total_accesses)
+            .sum::<u64>()
+            .saturating_add(self.root.total_accesses())
     }
 
     /// Mean network accesses per processor, root traffic amortized over
@@ -145,7 +149,11 @@ impl ShardedBarrierRun {
 
     /// Processes that parked, across shards and root.
     pub fn queued(&self) -> usize {
-        self.shards.iter().map(|s| s.queued).sum::<usize>() + self.root.queued()
+        self.shards
+            .iter()
+            .map(|s| s.queued)
+            .sum::<usize>()
+            .saturating_add(self.root.queued())
     }
 
     /// Spread of the shard flag-set times — the root episode's arrival
@@ -161,7 +169,7 @@ impl ShardedBarrierRun {
     /// representative has cleared its local barrier).
     pub fn completion(&self) -> u64 {
         let local = self.shards.iter().map(|s| s.completion).max().unwrap_or(0);
-        local + self.root.completion()
+        local.saturating_add(self.root.completion())
     }
 }
 

@@ -335,7 +335,8 @@ fn parse_job(v: &Value) -> Result<JobRecord, String> {
         name: str_field(v, "name")?,
         seed: seed_field(v, "seed")?,
         status,
-        attempts: v.get("attempts").and_then(Value::as_f64).unwrap_or(1.0) as u32,
+        attempts: u32::try_from(v.get("attempts").and_then(Value::as_f64).unwrap_or(1.0) as u64)
+            .unwrap_or(u32::MAX),
         wall_ms: v.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
         queue_ms: v.get("queue_ms").and_then(Value::as_f64).unwrap_or(0.0),
         artifact: v

@@ -209,7 +209,7 @@ impl Attribution {
 
     /// Fraction of all cycles in one bucket.
     pub fn share(&self, bucket: Bucket) -> f64 {
-        let all = self.cycles() * self.procs() as u64;
+        let all = self.cycles().saturating_mul(self.procs() as u64);
         if all == 0 {
             0.0
         } else {
@@ -222,7 +222,7 @@ impl Attribution {
     pub fn conserved(&self) -> bool {
         let cycles = self.cycles();
         self.lanes.iter().all(|lane| lane.total() == cycles)
-            && self.totals.iter().sum::<u64>() == cycles * self.procs() as u64
+            && self.totals.iter().sum::<u64>() == cycles.saturating_mul(self.procs() as u64)
     }
 
     /// The per-processor bucket table, with an `all` summary row.
@@ -416,7 +416,7 @@ pub fn attribute(events: &[Event], opts: &Options) -> Result<Attribution, String
         .max(lanes.keys().next_back().map_or(0, |&t| t as usize + 1));
     let mut out_lanes = Vec::with_capacity(procs);
     let empty = Lane::default();
-    for proc in 0..procs as u32 {
+    for proc in 0..u32::try_from(procs).unwrap_or(u32::MAX) {
         let lane = lanes.get(&proc).unwrap_or(&empty);
         let segments = match kind {
             UnitKind::Barrier => barrier_lane(lane, window),

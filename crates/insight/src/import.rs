@@ -41,6 +41,12 @@ pub const ARG_KEYS: [&str; 16] = [
     "wins",
 ];
 
+/// Clamps a Chrome-trace id (a JSON number) into the `u32` lane space:
+/// negative values floor at 0, oversized ones saturate at `u32::MAX`.
+fn id_u32(v: f64) -> u32 {
+    u32::try_from(v as u64).unwrap_or(u32::MAX)
+}
+
 fn intern(key: &str) -> Option<&'static str> {
     ARG_KEYS.iter().find(|&&k| k == key).copied()
 }
@@ -70,7 +76,7 @@ pub fn import_chrome(doc: &Value) -> Result<Vec<(String, Vec<Event>)>, String> {
             .get("ph")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("row {i}: missing ph"))?;
-        let pid = field_f64("pid")? as u32;
+        let pid = id_u32(field_f64("pid")?);
         if ph == "M" {
             if row.get("name").and_then(Value::as_str) == Some("process_name") {
                 if let Some(name) = row
@@ -99,7 +105,7 @@ pub fn import_chrome(doc: &Value) -> Result<Vec<(String, Vec<Event>)>, String> {
             .and_then(Value::as_str)
             .ok_or_else(|| format!("row {i}: missing name"))?
             .to_string();
-        let mut event = Event::sim(field_f64("tid")? as u32, field_f64("ts")?, phase, name);
+        let mut event = Event::sim(id_u32(field_f64("tid")?), field_f64("ts")?, phase, name);
         if let Some(Value::Obj(args)) = row.get("args") {
             for (key, value) in args {
                 if let (Some(key), Some(value)) = (intern(key), value.as_f64()) {

@@ -1,0 +1,286 @@
+//! Workspace symbol table and intra-crate call graph.
+//!
+//! [`CallGraph::build`] walks every [`ParsedFile`], records one
+//! [`FnUnit`] per function item (free fns, impl methods, trait default
+//! methods, fns inside inline modules), extracts an over-approximate set
+//! of callee names from each body (`name(…)`, `Path::name(…)`, and
+//! `.method(…)` all contribute `name`), and then floods reachability from
+//! the kernel hot loops: every non-test `run_with`/`step` defined in a
+//! simulation crate.
+//!
+//! Resolution is *name-based within one crate*: a call edge `f → g`
+//! exists when a unit named `g` lives in the same crate as `f`. This
+//! over-approximates (same-named methods on different types merge) and
+//! under-approximates across crate boundaries — both acceptable for the
+//! consumer, [`crate::sem`]'s panic-deep severity elevation, where a
+//! false "hot" merely turns an info finding into a warn.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{Delim, Item, ItemKind, Node, NodeKind};
+use crate::sem::{is_test_attr, ParsedFile, KEYWORDS};
+use crate::tokenizer::TokKind;
+
+/// One function item in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnUnit {
+    /// Index of the defining file in the `files` slice passed to
+    /// [`CallGraph::build`].
+    pub file: usize,
+    /// The crate the file belongs to ([`ParsedFile::crate_name`]).
+    pub crate_name: String,
+    /// The function's name.
+    pub name: String,
+    /// The impl/trait self type, for methods.
+    pub self_ty: Option<String>,
+    /// `span.lo` of the fn item — the key [`crate::sem::scan_file`] uses
+    /// to look up hotness.
+    pub span_lo: usize,
+    /// Whether the fn lives under a test attribute/module.
+    pub is_test: bool,
+    /// Callee names extracted from the body (over-approximate).
+    pub calls: BTreeSet<String>,
+}
+
+/// The built graph plus the hot-reachability closure.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every function unit, in discovery order.
+    pub fns: Vec<FnUnit>,
+    hot: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the graph and floods hotness from `run_with`/`step` roots.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut fns: Vec<FnUnit> = Vec::new();
+        for (fi, pf) in files.iter().enumerate() {
+            collect_fns(pf, fi, &pf.ast.items, None, false, &mut fns);
+        }
+
+        // name → unit indices, per crate.
+        let mut by_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, unit) in fns.iter().enumerate() {
+            by_name
+                .entry((unit.crate_name.as_str(), unit.name.as_str()))
+                .or_default()
+                .push(i);
+        }
+
+        let mut hot = vec![false; fns.len()];
+        let mut worklist: Vec<usize> = fns
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| {
+                !u.is_test
+                    && matches!(u.name.as_str(), "run_with" | "step")
+                    && files[u.file].policy.determinism
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for &root in &worklist {
+            hot[root] = true;
+        }
+        while let Some(at) = worklist.pop() {
+            let crate_name = fns[at].crate_name.clone();
+            let callees: Vec<usize> = fns[at]
+                .calls
+                .iter()
+                .flat_map(|name| {
+                    by_name
+                        .get(&(crate_name.as_str(), name.as_str()))
+                        .into_iter()
+                        .flatten()
+                        .copied()
+                })
+                .collect();
+            for callee in callees {
+                if !hot[callee] {
+                    hot[callee] = true;
+                    worklist.push(callee);
+                }
+            }
+        }
+        CallGraph { fns, hot }
+    }
+
+    /// The `span.lo` keys of every hot fn in file `file` — the shape
+    /// [`crate::sem::scan_file`] consumes.
+    pub fn hot_fns_of(&self, file: usize) -> BTreeSet<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|&(i, u)| self.hot[i] && u.file == file)
+            .map(|(_, u)| u.span_lo)
+            .collect()
+    }
+
+    /// Whether any unit is hot (used by the report summary and tests).
+    pub fn hot_count(&self) -> usize {
+        self.hot.iter().filter(|&&h| h).count()
+    }
+}
+
+fn collect_fns(
+    pf: &ParsedFile,
+    fi: usize,
+    items: &[Item],
+    self_ty: Option<&str>,
+    in_test: bool,
+    out: &mut Vec<FnUnit>,
+) {
+    for item in items {
+        let test = in_test || item.attrs.iter().any(|a| is_test_attr(&a.body));
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                let mut calls = BTreeSet::new();
+                if let Some(body) = &f.body {
+                    collect_calls(pf, body, &mut calls);
+                }
+                out.push(FnUnit {
+                    file: fi,
+                    crate_name: pf.crate_name().to_string(),
+                    name: f.name.clone(),
+                    self_ty: self_ty.map(str::to_string),
+                    span_lo: item.span.lo,
+                    is_test: test,
+                    calls,
+                });
+            }
+            ItemKind::Impl(b) => collect_fns(pf, fi, &b.items, Some(&b.self_ty), test, out),
+            ItemKind::Trait(b) => collect_fns(pf, fi, &b.items, Some(&b.name), test, out),
+            ItemKind::Mod(b) => {
+                if let Some(items) = &b.items {
+                    collect_fns(pf, fi, items, None, test, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts callee names from a body subtree: an identifier leaf directly
+/// followed by a paren group is a call, unless the identifier is a
+/// keyword, a macro name (next token `!`), or a nested `fn` definition.
+fn collect_calls(pf: &ParsedFile, node: &Node, out: &mut BTreeSet<String>) {
+    match &node.kind {
+        NodeKind::Leaf => {}
+        NodeKind::Group { children, .. } => collect_calls_in(pf, children, out),
+        NodeKind::Ctrl {
+            head, body, chain, ..
+        } => {
+            collect_calls_in(pf, head, out);
+            if let Some(body) = body {
+                collect_calls(pf, body, out);
+            }
+            for part in chain {
+                collect_calls(pf, part, out);
+            }
+        }
+    }
+}
+
+fn collect_calls_in(pf: &ParsedFile, sibs: &[Node], out: &mut BTreeSet<String>) {
+    for (i, node) in sibs.iter().enumerate() {
+        match &node.kind {
+            NodeKind::Leaf => {
+                let tok = &pf.tokens[node.span.hi - 1];
+                if tok.kind != TokKind::Ident || KEYWORDS.contains(&tok.text.as_str()) {
+                    continue;
+                }
+                let followed_by_paren = matches!(
+                    sibs.get(i + 1).map(|n| &n.kind),
+                    Some(NodeKind::Group {
+                        delim: Delim::Paren,
+                        ..
+                    })
+                );
+                let after_fn_kw = i > 0
+                    && matches!(sibs[i - 1].kind, NodeKind::Leaf)
+                    && pf.tokens[sibs[i - 1].span.hi - 1].text == "fn";
+                if followed_by_paren && !after_fn_kw {
+                    out.insert(tok.text.clone());
+                }
+            }
+            _ => collect_calls(pf, node, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::SourcePolicy;
+
+    fn sim_file(rel: &str, src: &str) -> ParsedFile {
+        ParsedFile::parse(rel, src, SourcePolicy::sim_crate())
+    }
+
+    #[test]
+    fn calls_are_extracted_from_bodies() {
+        let pf = sim_file(
+            "crates/core/src/a.rs",
+            "fn run_with(&self) { self.helper(); free(self.x); mac!(not_a_call); }",
+        );
+        let graph = CallGraph::build(&[pf]);
+        assert_eq!(graph.fns.len(), 1);
+        let calls: Vec<&str> = graph.fns[0].calls.iter().map(String::as_str).collect();
+        assert_eq!(calls, ["free", "helper"]);
+    }
+
+    #[test]
+    fn hotness_floods_transitively_within_a_crate() {
+        let a = sim_file(
+            "crates/core/src/a.rs",
+            "impl Sim { fn run_with(&self) { self.tick(); } fn tick(&self) { leafy(); } fn cold(&self) {} }",
+        );
+        let b = sim_file("crates/core/src/b.rs", "pub fn leafy() {}");
+        let other = sim_file("crates/net/src/c.rs", "pub fn leafy() {}");
+        let graph = CallGraph::build(&[a, b, other]);
+        let names: Vec<(&str, bool)> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.name.as_str(), graph.hot[i]))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("run_with", true),
+                ("tick", true),
+                ("cold", false),
+                ("leafy", true),  // same crate: reached
+                ("leafy", false), // other crate: name resolution stops
+            ]
+        );
+    }
+
+    #[test]
+    fn test_fns_and_harness_crates_are_not_roots() {
+        let test_root = sim_file(
+            "crates/core/src/a.rs",
+            "#[cfg(test)]\nmod tests { fn run_with() { helper(); } fn helper() {} }",
+        );
+        let harness = ParsedFile::parse(
+            "crates/bench/src/h.rs",
+            "fn run_with() { helper(); } fn helper() {}",
+            SourcePolicy::harness_crate(),
+        );
+        let graph = CallGraph::build(&[test_root, harness]);
+        assert_eq!(graph.hot_count(), 0);
+    }
+
+    #[test]
+    fn hot_fns_of_returns_span_keys() {
+        let pf = sim_file(
+            "crates/sync/src/a.rs",
+            "pub fn step(&mut self) { advance(); }\npub fn advance() {}\npub fn unrelated() {}\n",
+        );
+        let ast_spans: Vec<usize> = pf.ast.items.iter().map(|i| i.span.lo).collect();
+        let graph = CallGraph::build(&[pf]);
+        let hot = graph.hot_fns_of(0);
+        assert!(hot.contains(&ast_spans[0]));
+        assert!(hot.contains(&ast_spans[1]));
+        assert!(!hot.contains(&ast_spans[2]));
+    }
+}

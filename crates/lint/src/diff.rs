@@ -1,0 +1,196 @@
+//! Differential gating: compare a fresh report against the committed
+//! baseline (`repro_out/baselines/lint_report.json`).
+//!
+//! The tree legitimately carries warn/info findings (the committed
+//! baseline records them); what CI must catch is *regression*. A finding
+//! is matched to the baseline by the multiset key `(rule, file, message)`
+//! — deliberately ignoring the line number, so unrelated code motion in a
+//! file does not invalidate the baseline. `repro lint --diff` fails on
+//! any finding, of any severity, that has no remaining baseline
+//! counterpart.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use abs_exec::json::Value;
+
+use crate::report::Report;
+use crate::rules::Finding;
+
+/// The committed baseline location under a workspace root.
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("repro_out").join("baselines").join("lint_report.json")
+}
+
+/// Diffs `current` against the committed baseline under `root`.
+pub fn diff_against_baseline(root: &Path, current: &Report) -> Result<DiffResult, String> {
+    let path = baseline_path(root);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read baseline {}: {e} (refresh it with `repro lint --json` \
+             and copy repro_out/lint_report.json into repro_out/baselines/)",
+            path.display()
+        )
+    })?;
+    diff_against(&text, current)
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffResult {
+    /// Findings with no baseline counterpart — the regressions.
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries no current finding matched (fixed since the
+    /// baseline was committed; a hint to refresh it).
+    pub resolved: usize,
+    /// Total findings in the baseline.
+    pub baseline_total: usize,
+}
+
+impl DiffResult {
+    /// Whether the tree introduces no new findings.
+    pub fn is_clean(&self) -> bool {
+        self.new_findings.is_empty()
+    }
+
+    /// Human-readable comparison summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.new_findings {
+            out.push_str("NEW: ");
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "abs-lint --diff: {} new finding(s), {} resolved, {} in baseline\n",
+            self.new_findings.len(),
+            self.resolved,
+            self.baseline_total,
+        ));
+        out
+    }
+}
+
+/// Compares `current` against the baseline report JSON.
+pub fn diff_against(baseline_json: &str, current: &Report) -> Result<DiffResult, String> {
+    let doc = Value::parse(baseline_json).map_err(|e| format!("baseline JSON: {e}"))?;
+    if doc.get("tool").and_then(Value::as_str) != Some("abs-lint") {
+        return Err("baseline is not an abs-lint report (missing tool tag)".to_string());
+    }
+    let entries = doc
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or("baseline has no findings array")?;
+
+    let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    let mut baseline_total = 0usize;
+    for entry in entries {
+        let rule = entry.get("rule").and_then(Value::as_str).unwrap_or("");
+        let file = entry.get("file").and_then(Value::as_str).unwrap_or("");
+        let message = entry.get("message").and_then(Value::as_str).unwrap_or("");
+        *budget
+            .entry((rule.to_string(), file.to_string(), message.to_string()))
+            .or_insert(0) += 1;
+        baseline_total += 1;
+    }
+
+    let mut new_findings = Vec::new();
+    for finding in &current.findings {
+        let key = (
+            finding.rule.name().to_string(),
+            finding.file.clone(),
+            finding.message.clone(),
+        );
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => new_findings.push(finding.clone()),
+        }
+    }
+    let resolved = budget.values().sum();
+    Ok(DiffResult {
+        new_findings,
+        resolved,
+        baseline_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn report_with(findings: Vec<Finding>) -> Report {
+        Report {
+            root: "/ws".into(),
+            findings,
+            allows: Vec::new(),
+            files_scanned: 1,
+            manifests_scanned: 1,
+        }
+    }
+
+    fn f(file: &str, line: u32, message: &str) -> Finding {
+        Finding::new(Rule::PanicDeep, file, line, message)
+    }
+
+    #[test]
+    fn identical_report_diffs_clean() {
+        let report = report_with(vec![f("a.rs", 3, "idx"), f("b.rs", 9, "div")]);
+        let baseline = report.to_json().render_pretty();
+        let d = diff_against(&baseline, &report).expect("diff runs");
+        assert!(d.is_clean());
+        assert_eq!(d.resolved, 0);
+        assert_eq!(d.baseline_total, 2);
+    }
+
+    #[test]
+    fn line_motion_does_not_regress() {
+        let baseline = report_with(vec![f("a.rs", 3, "idx")]).to_json().render_pretty();
+        let moved = report_with(vec![f("a.rs", 47, "idx")]);
+        assert!(diff_against(&baseline, &moved).expect("diff").is_clean());
+    }
+
+    #[test]
+    fn new_finding_is_a_regression_even_at_low_severity() {
+        let baseline = report_with(vec![f("a.rs", 3, "idx")]).to_json().render_pretty();
+        let current = report_with(vec![f("a.rs", 3, "idx"), f("a.rs", 5, "second idx")]);
+        let d = diff_against(&baseline, &current).expect("diff");
+        assert_eq!(d.new_findings.len(), 1);
+        assert_eq!(d.new_findings[0].message, "second idx");
+        assert!(d.to_text().contains("NEW: a.rs:5"));
+    }
+
+    #[test]
+    fn duplicate_messages_are_counted_as_a_multiset() {
+        // Two identical findings in the baseline cover exactly two in the
+        // current tree; a third is new.
+        let baseline =
+            report_with(vec![f("a.rs", 1, "idx"), f("a.rs", 2, "idx")]).to_json().render_pretty();
+        let two = report_with(vec![f("a.rs", 10, "idx"), f("a.rs", 20, "idx")]);
+        assert!(diff_against(&baseline, &two).expect("diff").is_clean());
+        let three = report_with(vec![
+            f("a.rs", 10, "idx"),
+            f("a.rs", 20, "idx"),
+            f("a.rs", 30, "idx"),
+        ]);
+        assert_eq!(diff_against(&baseline, &three).expect("diff").new_findings.len(), 1);
+    }
+
+    #[test]
+    fn fixed_findings_count_as_resolved() {
+        let baseline = report_with(vec![f("a.rs", 3, "idx"), f("b.rs", 9, "div")])
+            .to_json()
+            .render_pretty();
+        let current = report_with(vec![f("a.rs", 3, "idx")]);
+        let d = diff_against(&baseline, &current).expect("diff");
+        assert!(d.is_clean());
+        assert_eq!(d.resolved, 1);
+    }
+
+    #[test]
+    fn garbage_baseline_is_an_error() {
+        let report = report_with(Vec::new());
+        assert!(diff_against("not json", &report).is_err());
+        assert!(diff_against("{\"tool\": \"other\"}", &report).is_err());
+    }
+}

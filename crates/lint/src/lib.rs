@@ -41,9 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod diff;
 pub mod manifest;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sem;
 pub mod tokenizer;
 pub mod workspace;
 
@@ -60,24 +64,66 @@ pub fn default_root() -> PathBuf {
 }
 
 /// Runs every rule over the workspace rooted at `root`.
+///
+/// Two-phase: first every source is tokenized, parsed, and scanned raw
+/// (token rules + semantic rules over the AST, with panic-deep severities
+/// elevated along the [`callgraph`] hot closure); then allow directives
+/// are applied uniformly, and any directive that suppressed *nothing* in
+/// the raw set becomes a [`Rule::StaleAllow`] finding — the escape
+/// hatches can never outlive the findings they justify.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let ws = Workspace::discover(root)?;
     let mut findings = ws.findings.clone();
     let mut allows = Vec::new();
+    let mut parsed: Vec<sem::ParsedFile> = Vec::new();
 
     for entry in &ws.sources {
         let text = std::fs::read_to_string(&entry.path)
             .map_err(|e| format!("cannot read {}: {e}", entry.path.display()))?;
-        let (f, a) = rules::scan_source(&entry.rel, &text, entry.policy);
+        let (f, a) = rules::scan_source_raw(&entry.rel, &text, entry.policy);
         findings.extend(f);
         allows.extend(a);
+        parsed.push(sem::ParsedFile::parse(&entry.rel, &text, entry.policy));
     }
     for (path, rel) in &ws.manifests {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let (f, a) = manifest::scan_manifest(rel, &text);
+        let (f, a) = manifest::scan_manifest_raw(rel, &text);
         findings.extend(f);
         allows.extend(a);
+    }
+
+    let graph = callgraph::CallGraph::build(&parsed);
+    for (i, pf) in parsed.iter().enumerate() {
+        findings.extend(sem::scan_file(pf, &graph.hot_fns_of(i)));
+    }
+    findings.extend(sem::contract_xref(&parsed));
+
+    // Uniform suppression over the merged raw set, then staleness: a
+    // directive must cover at least one raw finding to earn its keep.
+    let raw = findings.clone();
+    findings.retain(|f| {
+        f.rule == Rule::AllowGrammar
+            || !allows
+                .iter()
+                .any(|a| a.file == f.file && a.covers(f.rule, f.line))
+    });
+    for allow in &allows {
+        let used = raw
+            .iter()
+            .any(|f| f.file == allow.file && allow.covers(f.rule, f.line));
+        if !used {
+            let names: Vec<&str> = allow.rules.iter().map(|r| r.name()).collect();
+            findings.push(rules::Finding::new(
+                Rule::StaleAllow,
+                allow.file.clone(),
+                allow.line,
+                format!(
+                    "allow({}) no longer suppresses any finding; delete the stale directive",
+                    names.join(", ")
+                ),
+            ));
+        }
     }
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p abs-lint                  # text diagnostics, exit 1 on findings
 //! cargo run -p abs-lint -- --json        # also write repro_out/lint_report.json
+//! cargo run -p abs-lint -- --diff        # gate on NEW findings vs the baseline
 //! cargo run -p abs-lint -- --root DIR    # lint another workspace root
 //! ```
 
@@ -12,11 +13,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut diff = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--diff" => diff = true,
             "--root" => {
                 let Some(dir) = args.next() else {
                     eprintln!("--root needs a directory");
@@ -27,8 +30,10 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "abs-lint — hermetic static analysis for the workspace\n\n\
-                     usage: abs-lint [--json] [--root DIR]\n\n\
+                     usage: abs-lint [--json] [--diff] [--root DIR]\n\n\
                      --json      write repro_out/lint_report.json (and print it)\n\
+                     --diff      compare against repro_out/baselines/lint_report.json\n\
+                     \x20           and fail on any NEW finding, of any severity\n\
                      --root DIR  workspace root to lint (default: this repo)\n\n\
                      rules: determinism, hermeticity, panic-path, unsafe-audit\n\
                      escape hatch (in source): abs-lint: allow(<rule>) -- <justification>"
@@ -60,6 +65,22 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if diff {
+        return match abs_lint::diff::diff_against_baseline(&root, &report) {
+            Ok(result) => {
+                print!("{}", result.to_text());
+                if result.is_clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(message) => {
+                eprintln!("abs-lint --diff: {message}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -23,23 +23,31 @@ const DEP_SECTIONS: &[&str] = &["dependencies", "dev-dependencies", "workspace.d
 /// Scans one manifest. Returns surviving findings (allows applied) and the
 /// well-formed allow directives found.
 pub fn scan_manifest(rel_path: &str, text: &str) -> (Vec<Finding>, Vec<Allow>) {
+    let (mut findings, allows) = scan_manifest_raw(rel_path, text);
+    findings.retain(|f| !allows.iter().any(|a| a.covers(f.rule, f.line)));
+    (findings, allows)
+}
+
+/// Like [`scan_manifest`] but without allow suppression, for the
+/// stale-allow analysis in [`crate::lint_workspace`].
+pub fn scan_manifest_raw(rel_path: &str, text: &str) -> (Vec<Finding>, Vec<Allow>) {
     let mut findings = Vec::new();
     let mut allows = Vec::new();
     let mut section = String::new();
     let mut declared_deps: Vec<String> = Vec::new();
 
-    let finding = |line: usize, message: String| Finding {
-        rule: Rule::Hermeticity,
-        file: rel_path.to_string(),
-        line: line as u32,
-        message,
+    let finding = |line: usize, message: String| {
+        let line = u32::try_from(line).unwrap_or(u32::MAX);
+        Finding::new(Rule::Hermeticity, rel_path, line, message)
     };
 
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
         let (code, comment) = split_toml_comment(raw);
         if let Some(comment) = comment {
-            if let Some(allow) = parse_toml_directive(rel_path, line_no as u32, comment) {
+            if let Some(allow) =
+                parse_toml_directive(rel_path, u32::try_from(line_no).unwrap_or(u32::MAX), comment)
+            {
                 match allow {
                     Ok(a) => allows.push(a),
                     Err(f) => findings.push(f),
@@ -110,7 +118,6 @@ pub fn scan_manifest(rel_path: &str, text: &str) -> (Vec<Finding>, Vec<Allow>) {
         }
     }
 
-    findings.retain(|f| !allows.iter().any(|a| a.covers(f.rule, f.line)));
     (findings, allows)
 }
 

@@ -10,10 +10,12 @@ use std::path::{Path, PathBuf};
 
 use abs_exec::json::Value;
 
-use crate::rules::{Allow, Finding};
+use crate::rules::{Allow, Finding, Severity};
 
-/// Schema version of the JSON report.
-pub const REPORT_VERSION: u32 = 1;
+/// Schema version of the JSON report. Version 2 added the per-finding
+/// `severity` field, the severity summary, and the top-level
+/// `schema_version` key that differential mode keys on.
+pub const REPORT_VERSION: u32 = 2;
 
 /// Everything one lint run produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,36 +34,56 @@ pub struct Report {
 }
 
 impl Report {
-    /// Whether the tree is clean (exit code 0).
+    /// Whether the tree is clean (exit code 0): no **error**-severity
+    /// findings. Warn/info findings live in the committed baseline and
+    /// gate differentially via [`crate::diff`].
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
+        self.count(Severity::Error) == 0
     }
 
-    /// `file:line: rule: message` diagnostics plus a one-line summary.
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// `file:line: rule [severity]: message` diagnostics (error and warn
+    /// findings only; info findings are counted in the summary and kept
+    /// in the JSON report) plus a one-line summary.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for finding in &self.findings {
-            out.push_str(&finding.to_string());
-            out.push('\n');
+            if finding.severity >= Severity::Warn {
+                out.push_str(&finding.to_string());
+                out.push('\n');
+            }
         }
         out.push_str(&format!(
-            "abs-lint: {} finding(s), {} allow(s) across {} files and {} manifests\n",
-            self.findings.len(),
-            self.allows.len(),
+            "abs-lint: {} error(s), {} warn(s), {} info across {} files and {} manifests ({} allows)\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
             self.files_scanned,
             self.manifests_scanned,
+            self.allows.len(),
         ));
         out
     }
 
-    /// The machine-readable report document.
+    /// The machine-readable report document. Findings are (re)sorted by
+    /// (file, line, rule) so the bytes are stable for a given tree — the
+    /// property the committed diff baseline depends on.
     pub fn to_json(&self) -> Value {
-        let findings = self
-            .findings
+        let mut sorted: Vec<&Finding> = self.findings.iter().collect();
+        sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        let findings = sorted
             .iter()
             .map(|f| {
                 Value::Obj(vec![
                     ("rule".into(), Value::Str(f.rule.name().to_string())),
+                    ("severity".into(), Value::Str(f.severity.name().to_string())),
                     ("file".into(), Value::Str(f.file.clone())),
                     ("line".into(), Value::Num(f.line as f64)),
                     ("message".into(), Value::Str(f.message.clone())),
@@ -90,9 +112,17 @@ impl Report {
             .collect();
         Value::Obj(vec![
             ("tool".into(), Value::Str("abs-lint".to_string())),
-            ("version".into(), Value::Num(f64::from(REPORT_VERSION))),
+            ("schema_version".into(), Value::Num(f64::from(REPORT_VERSION))),
             ("root".into(), Value::Str(self.root.clone())),
             ("clean".into(), Value::Bool(self.is_clean())),
+            (
+                "severity_counts".into(),
+                Value::Obj(vec![
+                    ("error".into(), Value::Num(self.count(Severity::Error) as f64)),
+                    ("warn".into(), Value::Num(self.count(Severity::Warn) as f64)),
+                    ("info".into(), Value::Num(self.count(Severity::Info) as f64)),
+                ]),
+            ),
             ("files_scanned".into(), Value::Num(self.files_scanned as f64)),
             (
                 "manifests_scanned".into(),
@@ -120,12 +150,12 @@ mod tests {
     fn sample() -> Report {
         Report {
             root: "/ws".into(),
-            findings: vec![Finding {
-                rule: Rule::Determinism,
-                file: "crates/coherence/src/directory.rs".into(),
-                line: 10,
-                message: "`HashMap` in simulation code".into(),
-            }],
+            findings: vec![Finding::new(
+                Rule::Determinism,
+                "crates/coherence/src/directory.rs",
+                10,
+                "`HashMap` in simulation code",
+            )],
             allows: vec![Allow {
                 rules: vec![Rule::PanicPath],
                 file: "crates/net/src/packet.rs".into(),
@@ -140,8 +170,11 @@ mod tests {
     #[test]
     fn text_has_file_line_diagnostics_and_summary() {
         let text = sample().to_text();
-        assert!(text.contains("crates/coherence/src/directory.rs:10: determinism:"));
-        assert!(text.contains("1 finding(s), 1 allow(s)"));
+        assert!(
+            text.contains("crates/coherence/src/directory.rs:10: determinism [error]:"),
+            "{text}"
+        );
+        assert!(text.contains("1 error(s), 0 warn(s), 0 info"), "{text}");
     }
 
     #[test]
@@ -155,6 +188,14 @@ mod tests {
         assert_eq!(
             findings[0].get("rule").and_then(Value::as_str),
             Some("determinism")
+        );
+        assert_eq!(
+            findings[0].get("severity").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_f64),
+            Some(f64::from(REPORT_VERSION))
         );
         assert_eq!(findings[0].get("line").and_then(Value::as_f64), Some(10.0));
         let allows = v.get("allows").and_then(Value::as_array).expect("array");

@@ -44,16 +44,36 @@ pub enum Rule {
     UnsafeAudit,
     /// Malformed `abs-lint: allow(…)` directives.
     AllowGrammar,
+    /// Truncating casts / unchecked `+`·`*` on accounting state
+    /// ([`crate::sem`]).
+    Arith,
+    /// RNG draws in conditional contexts, unstable sorts, float→int
+    /// arithmetic feeding sim state ([`crate::sem`]).
+    DeterminismFlow,
+    /// Slice indexing, non-literal division, `unreachable!` — elevated
+    /// when reachable from kernel hot loops ([`crate::sem`]).
+    PanicDeep,
+    /// `run_with` types not named by any kernel-equivalence test
+    /// ([`crate::sem`]).
+    ContractXref,
+    /// An allow directive that no longer suppresses anything
+    /// ([`crate::lint_workspace`]).
+    StaleAllow,
 }
 
 impl Rule {
-    /// The rules an `allow(…)` directive may name (everything except the
-    /// grammar rule, which guards the directives themselves).
-    pub const ALLOWABLE: [Rule; 4] = [
+    /// The rules an `allow(…)` directive may name: everything except the
+    /// grammar rule (which guards the directives themselves) and the
+    /// staleness rule (allowing a stale allow would be self-defeating).
+    pub const ALLOWABLE: [Rule; 8] = [
         Rule::Determinism,
         Rule::Hermeticity,
         Rule::PanicPath,
         Rule::UnsafeAudit,
+        Rule::Arith,
+        Rule::DeterminismFlow,
+        Rule::PanicDeep,
+        Rule::ContractXref,
     ];
 
     /// The kebab-case rule name used in directives and reports.
@@ -64,12 +84,75 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::UnsafeAudit => "unsafe-audit",
             Rule::AllowGrammar => "allow-grammar",
+            Rule::Arith => "arith",
+            Rule::DeterminismFlow => "determinism-flow",
+            Rule::PanicDeep => "panic-deep",
+            Rule::ContractXref => "contract-xref",
+            Rule::StaleAllow => "stale-allow",
         }
     }
 
     /// Parses a directive rule name.
     pub fn from_name(name: &str) -> Option<Rule> {
         Rule::ALLOWABLE.into_iter().find(|r| r.name() == name)
+    }
+
+    /// The severity a finding of this rule carries by default. `sem`
+    /// elevates panic-deep to [`Severity::Warn`] on hot-loop-reachable
+    /// paths.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::Determinism
+            | Rule::Hermeticity
+            | Rule::PanicPath
+            | Rule::UnsafeAudit
+            | Rule::AllowGrammar
+            | Rule::Arith
+            | Rule::ContractXref
+            | Rule::StaleAllow => Severity::Error,
+            Rule::DeterminismFlow => Severity::Warn,
+            Rule::PanicDeep => Severity::Info,
+        }
+    }
+}
+
+/// How strongly a finding gates.
+///
+/// Only [`Severity::Error`] findings make a tree unclean (nonzero exit);
+/// `Warn` and `Info` findings live in the committed baseline and gate
+/// *differentially* — `repro lint --diff` fails on any **new** finding of
+/// any severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Recorded in the report; surfaced only when new.
+    Info,
+    /// Suspicious; surfaced in text output and gated when new.
+    Warn,
+    /// Violates a hard invariant; fails the run outright.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a report severity name.
+    pub fn from_name(name: &str) -> Option<Severity> {
+        [Severity::Info, Severity::Warn, Severity::Error]
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -84,6 +167,8 @@ impl fmt::Display for Rule {
 pub struct Finding {
     /// The violated rule.
     pub rule: Rule,
+    /// How strongly the finding gates.
+    pub severity: Severity,
     /// Workspace-relative path.
     pub file: String,
     /// 1-based line.
@@ -92,9 +177,26 @@ pub struct Finding {
     pub message: String,
 }
 
+impl Finding {
+    /// A finding at the rule's default severity.
+    pub fn new(rule: Rule, file: impl Into<String>, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            severity: rule.default_severity(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: {} [{}]: {}",
+            self.file, self.line, self.rule, self.severity, self.message
+        )
     }
 }
 
@@ -189,6 +291,22 @@ const DETERMINISM_BANS: &[(&str, &str)] = &[
 /// directives already applied) plus every well-formed directive, for the
 /// report's audit trail.
 pub fn scan_source(rel_path: &str, text: &str, policy: SourcePolicy) -> (Vec<Finding>, Vec<Allow>) {
+    let (mut findings, allows) = scan_source_raw(rel_path, text, policy);
+    findings.retain(|f| {
+        f.rule == Rule::AllowGrammar || !allows.iter().any(|a| a.covers(f.rule, f.line))
+    });
+    (findings, allows)
+}
+
+/// Like [`scan_source`] but returns every finding *before* allow
+/// suppression. [`crate::lint_workspace`] needs the raw set to decide
+/// which allows are stale, and applies suppression itself after merging
+/// in the semantic rules.
+pub fn scan_source_raw(
+    rel_path: &str,
+    text: &str,
+    policy: SourcePolicy,
+) -> (Vec<Finding>, Vec<Allow>) {
     let tokens = tokenize(text);
     let mut findings = Vec::new();
     let mut allows = Vec::new();
@@ -203,12 +321,9 @@ pub fn scan_source(rel_path: &str, text: &str, policy: SourcePolicy) -> (Vec<Fin
                     line: token.line,
                     justification,
                 }),
-                DirectiveParse::Malformed(why) => findings.push(Finding {
-                    rule: Rule::AllowGrammar,
-                    file: rel_path.to_string(),
-                    line: token.line,
-                    message: why,
-                }),
+                DirectiveParse::Malformed(why) => {
+                    findings.push(Finding::new(Rule::AllowGrammar, rel_path, token.line, why))
+                }
             }
         }
     }
@@ -229,12 +344,12 @@ pub fn scan_source(rel_path: &str, text: &str, policy: SourcePolicy) -> (Vec<Fin
         }
         if policy.determinism && !in_test[ti] {
             if let Some((_, reason)) = DETERMINISM_BANS.iter().find(|(n, _)| *n == token.text) {
-                findings.push(Finding {
-                    rule: Rule::Determinism,
-                    file: rel_path.to_string(),
-                    line: token.line,
-                    message: format!("`{}` in simulation code: {reason}", token.text),
-                });
+                findings.push(Finding::new(
+                    Rule::Determinism,
+                    rel_path,
+                    token.line,
+                    format!("`{}` in simulation code: {reason}", token.text),
+                ));
             }
         }
         if policy.panic_path
@@ -244,37 +359,33 @@ pub fn scan_source(rel_path: &str, text: &str, policy: SourcePolicy) -> (Vec<Fin
             && code[ci - 1].1.text == "."
             && matches!(code.get(ci + 1), Some((_, t)) if t.text == "(")
         {
-            findings.push(Finding {
-                rule: Rule::PanicPath,
-                file: rel_path.to_string(),
-                line: token.line,
-                message: format!(
+            findings.push(Finding::new(
+                Rule::PanicPath,
+                rel_path,
+                token.line,
+                format!(
                     "`.{}(…)` in library code: panics abort the whole repro job; \
                      return an error or justify the invariant via the allow directive",
                     token.text
                 ),
-            });
+            ));
         }
         if token.text == "unsafe" {
             let documented = safety_lines
                 .iter()
                 .any(|&l| l <= token.line && token.line.saturating_sub(l) <= 3);
             if !documented {
-                findings.push(Finding {
-                    rule: Rule::UnsafeAudit,
-                    file: rel_path.to_string(),
-                    line: token.line,
-                    message: "`unsafe` without a `SAFETY:` comment within the three \
-                              preceding lines"
-                        .to_string(),
-                });
+                findings.push(Finding::new(
+                    Rule::UnsafeAudit,
+                    rel_path,
+                    token.line,
+                    "`unsafe` without a `SAFETY:` comment within the three \
+                     preceding lines",
+                ));
             }
         }
     }
 
-    findings.retain(|f| {
-        f.rule == Rule::AllowGrammar || !allows.iter().any(|a| a.covers(f.rule, f.line))
-    });
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     (findings, allows)
 }
@@ -286,7 +397,7 @@ fn safety_comment_lines(tokens: &[Token]) -> Vec<u32> {
         .iter()
         .filter(|t| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
         .filter(|t| t.text.contains("SAFETY:"))
-        .map(|t| t.line + t.text.matches('\n').count() as u32)
+        .map(|t| t.line.saturating_add(u32::try_from(t.text.matches('\n').count()).unwrap_or(u32::MAX)))
         .collect()
 }
 
@@ -598,6 +709,6 @@ fn f() {
     fn findings_render_as_file_line_rule() {
         let f = sim_findings("fn f() { x.unwrap(); }");
         let line = f[0].to_string();
-        assert!(line.starts_with("test.rs:1: panic-path:"), "{line}");
+        assert!(line.starts_with("test.rs:1: panic-path [error]:"), "{line}");
     }
 }

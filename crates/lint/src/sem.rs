@@ -1,0 +1,933 @@
+//! Semantic rules over the parsed AST: the four rule families that token
+//! scanning cannot express.
+//!
+//! * **arith** ([`Rule::Arith`], error) — truncating `as` casts to a
+//!   narrower integer with a non-literal operand, and unchecked `+`/`*`
+//!   (including `+=`/`*=`) whose operand is an accounting counter
+//!   ([`ACCOUNTING_VOCAB`]): the cycle/access/id totals the paper's
+//!   exhibits are built from. At N = 2²⁰ a single silent truncation
+//!   corrupts an exhibit, so these demand `checked_`/`saturating_`/
+//!   widening arithmetic or a justified allow.
+//! * **determinism-flow** ([`Rule::DeterminismFlow`], warn) — RNG draws
+//!   inside conditionally-executed contexts (the draw *order* becomes
+//!   data-dependent, which endangers cross-kernel bit-identity), unstable
+//!   sorts, and float arithmetic cast back into integer sim state.
+//! * **panic-deep** ([`Rule::PanicDeep`], info; elevated to warn when the
+//!   enclosing fn is reachable from a kernel hot loop per
+//!   [`crate::callgraph`]) — slice indexing with a non-literal index,
+//!   integer division by a non-literal divisor, and `unreachable!` in
+//!   library non-test code.
+//! * **contract-xref** ([`Rule::ContractXref`], error) — every type whose
+//!   impl defines `run_with` must be named by a kernel-equivalence test
+//!   (a test scope containing a `kernels_*` test fn), keeping the
+//!   bit-identity contract suite in lockstep with the simulators.
+//!
+//! All checks walk sibling lists of the structural expression tree, so a
+//! pattern inside a string, comment, or `#[cfg(test)]` region can never
+//! fire.
+
+use std::collections::BTreeSet;
+
+use crate::parser::{parse, Ast, Delim, Item, ItemKind, Node, NodeKind, Span};
+use crate::rules::{Finding, Rule, Severity, SourcePolicy};
+use crate::tokenizer::{tokenize, TokKind, Token};
+
+/// One source file, tokenized and parsed, ready for semantic scanning.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// The rule policy [`crate::workspace`] assigned to the file.
+    pub policy: SourcePolicy,
+    /// The lossless token stream.
+    pub tokens: Vec<Token>,
+    /// The parse over it.
+    pub ast: Ast,
+}
+
+impl ParsedFile {
+    /// Tokenizes and parses one source file.
+    pub fn parse(rel: &str, text: &str, policy: SourcePolicy) -> Self {
+        let tokens = tokenize(text);
+        let ast = parse(&tokens);
+        ParsedFile {
+            rel: rel.to_string(),
+            policy,
+            tokens,
+            ast,
+        }
+    }
+
+    /// The crate the file belongs to (`"core"` for
+    /// `crates/core/src/...`; `"root"` for the facade and root tests).
+    pub fn crate_name(&self) -> &str {
+        self.rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("root")
+    }
+
+    /// Source text of a span.
+    pub fn text_of(&self, span: Span) -> String {
+        self.tokens[span.lo..span.hi]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    /// 1-based line of the first code token in `span` (falls back to the
+    /// span's first token).
+    pub fn first_code_line(&self, span: Span) -> u32 {
+        self.tokens[span.lo..span.hi]
+            .iter()
+            .find(|t| t.is_code())
+            .or_else(|| self.tokens.get(span.lo))
+            .map_or(1, |t| t.line)
+    }
+}
+
+/// Counters whose silent overflow or truncation corrupts an exhibit: the
+/// access/cycle/occupancy accounting vocabulary shared by the sim crates.
+pub const ACCOUNTING_VOCAB: &[&str] = &[
+    "accesses",
+    "total_accesses",
+    "var_accesses",
+    "sync_accesses",
+    "presented",
+    "served",
+    "denied",
+    "busy_cycles",
+    "idle_cycles",
+    "cycles",
+    "completion",
+    "queued",
+    "flag_set_at",
+];
+
+/// Integer types an `as` cast may truncate into.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Integer targets for the float→int determinism check (any width: the
+/// hazard is the float *origin*, not the destination width).
+const INT_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Method names that draw from the deterministic RNG (`abs_sim::rng`).
+const RNG_DRAWS: &[&str] = &[
+    "next_u64",
+    "next_below",
+    "next_range_u64",
+    "next_below_usize",
+    "next_f64",
+    "next_bool",
+    "fill_below",
+    "shuffle",
+    "choose",
+    "uniform_arrivals",
+];
+
+/// Rust keywords (idents that are never call or operand names).
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+/// Whether an attribute body gates an item to test builds.
+pub(crate) fn is_test_attr(body: &str) -> bool {
+    body == "test"
+        || body == "cfg(test)"
+        || body.starts_with("cfg(test,")
+        || body.starts_with("cfg(all(test")
+}
+
+/// Runs the per-file semantic rules. `hot_fns` holds the `span.lo` token
+/// index of every fn item in this file that [`crate::callgraph`] found
+/// reachable from a kernel hot loop.
+pub fn scan_file(pf: &ParsedFile, hot_fns: &BTreeSet<usize>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_items(pf, &pf.ast.items, false, hot_fns, &mut out);
+    out
+}
+
+fn scan_items(
+    pf: &ParsedFile,
+    items: &[Item],
+    in_test: bool,
+    hot_fns: &BTreeSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    for item in items {
+        let test = in_test || item.attrs.iter().any(|a| is_test_attr(&a.body));
+        match &item.kind {
+            ItemKind::Fn(f) => {
+                if let Some(body) = &f.body {
+                    let scanner = Scanner {
+                        pf,
+                        is_test: test,
+                        hot: hot_fns.contains(&item.span.lo),
+                        out,
+                    };
+                    scanner.run(body);
+                }
+            }
+            ItemKind::Impl(b) => scan_items(pf, &b.items, test, hot_fns, out),
+            ItemKind::Trait(b) => scan_items(pf, &b.items, test, hot_fns, out),
+            ItemKind::Mod(b) => {
+                if let Some(items) = &b.items {
+                    scan_items(pf, items, test, hot_fns, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Scanner<'a> {
+    pf: &'a ParsedFile,
+    is_test: bool,
+    hot: bool,
+    out: &'a mut Vec<Finding>,
+}
+
+impl Scanner<'_> {
+    fn run(mut self, body: &Node) {
+        if let NodeKind::Group { children, .. } = &body.kind {
+            self.siblings(children, 0);
+        }
+    }
+
+    /// Scans one sibling list with `cond` nested conditional contexts
+    /// around it, then recurses.
+    fn siblings(&mut self, sibs: &[Node], cond: u32) {
+        for (i, node) in sibs.iter().enumerate() {
+            match &node.kind {
+                NodeKind::Leaf => {
+                    self.leaf_checks(sibs, i, cond);
+                }
+                NodeKind::Group {
+                    delim, children, ..
+                } => {
+                    if *delim == Delim::Bracket {
+                        self.indexing_check(sibs, i);
+                    }
+                    self.siblings(children, cond);
+                }
+                NodeKind::Ctrl {
+                    head, body, chain, ..
+                } => {
+                    self.siblings(head, cond);
+                    if let Some(body) = body {
+                        // for/while/loop bodies conditionally skip or
+                        // repeat their contents just like if/match arms
+                        // do; all five count as conditional contexts.
+                        self.descend(body, cond + 1);
+                    }
+                    for part in chain {
+                        self.descend(part, cond + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn descend(&mut self, node: &Node, cond: u32) {
+        match &node.kind {
+            NodeKind::Leaf => {}
+            NodeKind::Group { children, .. } => self.siblings(children, cond),
+            NodeKind::Ctrl {
+                head, body, chain, ..
+            } => {
+                self.siblings(head, cond);
+                if let Some(body) = body {
+                    self.descend(body, cond + 1);
+                }
+                for part in chain {
+                    self.descend(part, cond + 1);
+                }
+            }
+        }
+    }
+
+    // ----- token/sibling helpers ----------------------------------------
+
+    fn leaf_token(&self, node: &Node) -> &Token {
+        &self.pf.tokens[node.span.hi - 1]
+    }
+
+    fn leaf_text(&self, node: &Node) -> Option<&str> {
+        match node.kind {
+            NodeKind::Leaf => Some(self.leaf_token(node).text.as_str()),
+            _ => None,
+        }
+    }
+
+    fn leaf_kind(&self, node: &Node) -> Option<TokKind> {
+        match node.kind {
+            NodeKind::Leaf => Some(self.leaf_token(node).kind),
+            _ => None,
+        }
+    }
+
+    fn is_ident(&self, node: &Node) -> bool {
+        self.leaf_kind(node) == Some(TokKind::Ident)
+            && !KEYWORDS.contains(&self.leaf_token(node).text.as_str())
+    }
+
+    /// The code token immediately after token index `at` in the stream.
+    fn next_code_text(&self, at: usize) -> &str {
+        self.pf.tokens[at + 1..]
+            .iter()
+            .find(|t| t.is_code())
+            .map_or("", |t| t.text.as_str())
+    }
+
+    fn push(&mut self, rule: Rule, line: u32, message: String) {
+        let mut f = Finding::new(rule, self.pf.rel.clone(), line, message);
+        if rule == Rule::PanicDeep && self.hot {
+            f.severity = Severity::Warn;
+        }
+        self.out.push(f);
+    }
+
+    /// Terminal identifier of the operand ending at sibling `i`
+    /// (exclusive): the callee of a trailing call, or the last field of a
+    /// `a.b.c` chain.
+    fn terminal_ident_before(&self, sibs: &[Node], i: usize) -> Option<String> {
+        let mut j = i.checked_sub(1)?;
+        if matches!(
+            sibs[j].kind,
+            NodeKind::Group {
+                delim: Delim::Paren,
+                ..
+            }
+        ) {
+            j = j.checked_sub(1)?;
+        }
+        if self.is_ident(&sibs[j]) {
+            return Some(self.leaf_token(&sibs[j]).text.clone());
+        }
+        None
+    }
+
+    /// Terminal identifier of the operand starting at sibling `i`
+    /// (inclusive): the last identifier of a `a.b.c(...)` chain.
+    fn terminal_ident_after(&self, sibs: &[Node], i: usize) -> Option<String> {
+        let mut j = i;
+        let mut last = None;
+        while j < sibs.len() {
+            let node = &sibs[j];
+            if self.is_ident(node) {
+                last = Some(self.leaf_token(node).text.clone());
+                j += 1;
+                continue;
+            }
+            match (self.leaf_text(node), &node.kind) {
+                (Some("."), _) | (Some(":"), _) | (Some("self"), _) | (Some("Self"), _) => j += 1,
+                (
+                    _,
+                    NodeKind::Group {
+                        delim: Delim::Paren,
+                        ..
+                    },
+                ) if last.is_some() => j += 1,
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Whether the subtree ending at sibling `i` (exclusive) looks like
+    /// float arithmetic (an `f64`/`f32` mention or a rounding call).
+    fn float_marker_before(&self, sibs: &[Node], i: usize) -> bool {
+        let lo = sibs.first().map_or(0, |n| n.span.lo);
+        let hi = sibs.get(i.wrapping_sub(1)).map_or(lo, |n| n.span.hi);
+        let text = self.pf.text_of(Span { lo, hi });
+        ["f64", "f32", ".round(", ".ceil(", ".floor(", ".sqrt("]
+            .iter()
+            .any(|m| text.contains(m))
+    }
+
+    // ----- the checks ---------------------------------------------------
+
+    fn leaf_checks(&mut self, sibs: &[Node], i: usize, cond: u32) {
+        let text = self.leaf_token(&sibs[i]).text.clone();
+        let line = self.leaf_token(&sibs[i]).line;
+        match text.as_str() {
+            "as" => self.cast_checks(sibs, i, line),
+            "+" | "*" => self.arith_checks(sibs, i, &text, line),
+            "/" => self.division_check(sibs, i, line),
+            "unreachable" => {
+                if self.pf.policy.panic_path
+                    && !self.is_test
+                    && self.next_code_text(sibs[i].span.hi - 1) == "!"
+                {
+                    self.push(
+                        Rule::PanicDeep,
+                        line,
+                        format!(
+                            "`unreachable!` in library code{}: a mis-modeled state aborts \
+                             the whole repro job; return an error or justify the invariant",
+                            self.hot_suffix()
+                        ),
+                    );
+                }
+            }
+            _ if text.starts_with("sort_unstable") => {
+                if self.pf.policy.determinism
+                    && !self.is_test
+                    && i > 0
+                    && self.leaf_text(&sibs[i - 1]) == Some(".")
+                {
+                    self.push(
+                        Rule::DeterminismFlow,
+                        line,
+                        format!(
+                            "`.{text}(…)` in simulation code: ties land in an \
+                             implementation-defined order; sort by a total key or use a \
+                             stable sort"
+                        ),
+                    );
+                }
+            }
+            _ if RNG_DRAWS.contains(&text.as_str()) => {
+                if self.pf.policy.determinism
+                    && !self.is_test
+                    && cond > 0
+                    && i > 0
+                    && self.leaf_text(&sibs[i - 1]) == Some(".")
+                    && matches!(
+                        sibs.get(i + 1).map(|n| &n.kind),
+                        Some(NodeKind::Group {
+                            delim: Delim::Paren,
+                            ..
+                        })
+                    )
+                {
+                    self.push(
+                        Rule::DeterminismFlow,
+                        line,
+                        format!(
+                            "RNG draw `.{text}(…)` inside a conditionally-executed \
+                             context: the draw order becomes data-dependent, which can \
+                             desynchronize kernels; hoist the draw or justify with an allow"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn hot_suffix(&self) -> &'static str {
+        if self.hot {
+            " (reachable from a kernel hot loop)"
+        } else {
+            ""
+        }
+    }
+
+    /// Truncating `as` casts (arith, error) and float→int casts
+    /// (determinism-flow, warn).
+    fn cast_checks(&mut self, sibs: &[Node], i: usize, line: u32) {
+        if self.is_test {
+            return;
+        }
+        let Some(target) = sibs.get(i + 1).and_then(|n| self.leaf_text(n)) else {
+            return;
+        };
+        let target = target.to_string();
+        let operand_literal = i > 0
+            && matches!(
+                self.leaf_kind(&sibs[i - 1]),
+                Some(TokKind::Number) | Some(TokKind::Char)
+            );
+        if self.pf.policy.panic_path
+            && NARROW_TARGETS.contains(&target.as_str())
+            && i > 0
+            && !operand_literal
+        {
+            self.push(
+                Rule::Arith,
+                line,
+                format!(
+                    "truncating `as {target}` on a non-literal value silently wraps at \
+                     scale; use `{target}::try_from(…)`, widen the type, or add a \
+                     justified allow"
+                ),
+            );
+        }
+        if self.pf.policy.determinism
+            && !self.is_test
+            && INT_TARGETS.contains(&target.as_str())
+            && self.float_marker_before(sibs, i)
+        {
+            self.push(
+                Rule::DeterminismFlow,
+                line,
+                format!(
+                    "float arithmetic cast to `{target}` feeds integer simulation state: \
+                     rounding is platform-sensitive at the margins; derive the value with \
+                     integer arithmetic or justify with an allow"
+                ),
+            );
+        }
+    }
+
+    /// Unchecked `+`/`*` (plain or compound) on accounting counters.
+    fn arith_checks(&mut self, sibs: &[Node], i: usize, op: &str, line: u32) {
+        if !self.pf.policy.panic_path || self.is_test {
+            return;
+        }
+        let op_token = sibs[i].span.hi - 1;
+        let compound = self.next_code_text(op_token) == "=";
+        if compound {
+            // `counter += …` / `counter *= …`: the target is the chain
+            // ending right before the operator.
+            if let Some(target) = self.terminal_ident_before(sibs, i) {
+                if ACCOUNTING_VOCAB.contains(&target.as_str()) {
+                    self.push(
+                        Rule::Arith,
+                        line,
+                        format!(
+                            "unchecked `{op}=` on accounting counter `{target}`: overflow \
+                             wraps silently; use `saturating_`/`checked_` arithmetic or \
+                             add a justified allow"
+                        ),
+                    );
+                }
+            }
+            return;
+        }
+        // Binary form. A `*` with no value-like left neighbor is a deref.
+        let prev_valueish = i > 0
+            && (self.is_ident(&sibs[i - 1])
+                || matches!(self.leaf_kind(&sibs[i - 1]), Some(TokKind::Number))
+                || matches!(sibs[i - 1].kind, NodeKind::Group { .. }));
+        if !prev_valueish {
+            return;
+        }
+        // Skip `+` that is really part of `+=` handled above, or operators
+        // glued from two tokens (`->`, `=>` never reach here for + / *).
+        let left = self.terminal_ident_before(sibs, i);
+        let right = self.terminal_ident_after(sibs, i + 1);
+        for ident in [left, right].into_iter().flatten() {
+            if ACCOUNTING_VOCAB.contains(&ident.as_str()) {
+                self.push(
+                    Rule::Arith,
+                    line,
+                    format!(
+                        "unchecked `{op}` involving accounting counter `{ident}`: \
+                         overflow wraps silently; use `saturating_`/`checked_` \
+                         arithmetic or add a justified allow"
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Integer `/` by a non-literal divisor (panic-deep).
+    fn division_check(&mut self, sibs: &[Node], i: usize, line: u32) {
+        if !self.pf.policy.panic_path || self.is_test {
+            return;
+        }
+        let prev_valueish = i > 0
+            && (self.is_ident(&sibs[i - 1])
+                || matches!(self.leaf_kind(&sibs[i - 1]), Some(TokKind::Number))
+                || matches!(sibs[i - 1].kind, NodeKind::Group { .. }));
+        if !prev_valueish {
+            return;
+        }
+        // Literal divisors cannot be zero at runtime; float division does
+        // not panic at all.
+        if matches!(
+            sibs.get(i + 1).and_then(|n| self.leaf_kind(n)),
+            Some(TokKind::Number)
+        ) {
+            return;
+        }
+        if self.float_marker_before(sibs, i) || self.float_marker_at(sibs, i + 1) {
+            return;
+        }
+        self.push(
+            Rule::PanicDeep,
+            line,
+            format!(
+                "integer division by a non-literal divisor{}: panics on zero; guard the \
+                 divisor or document why it cannot be zero",
+                self.hot_suffix()
+            ),
+        );
+    }
+
+    fn float_marker_at(&self, sibs: &[Node], i: usize) -> bool {
+        let Some(node) = sibs.get(i) else {
+            return false;
+        };
+        let hi = sibs.last().map_or(node.span.hi, |n| n.span.hi);
+        let text = self.pf.text_of(Span {
+            lo: node.span.lo,
+            hi,
+        });
+        ["f64", "f32", ".round(", ".ceil(", ".floor(", ".sqrt("]
+            .iter()
+            .any(|m| text.contains(m))
+    }
+
+    /// Indexing with a bracket group whose content is not a literal.
+    fn indexing_check(&mut self, sibs: &[Node], i: usize) {
+        if !self.pf.policy.panic_path || self.is_test || i == 0 {
+            return;
+        }
+        let prev = &sibs[i - 1];
+        let indexee = self.is_ident(prev)
+            || matches!(
+                prev.kind,
+                NodeKind::Group {
+                    delim: Delim::Paren,
+                    ..
+                } | NodeKind::Group {
+                    delim: Delim::Bracket,
+                    ..
+                }
+            );
+        if !indexee {
+            return;
+        }
+        let NodeKind::Group { children, .. } = &sibs[i].kind else {
+            return;
+        };
+        // `[3]` — a constant index the author has visibly reviewed;
+        // `[..]` — the full-range slice, which cannot panic.
+        match children.as_slice() {
+            [] => return,
+            [only] if self.leaf_kind(only) == Some(TokKind::Number) => return,
+            [a, b] if self.leaf_text(a) == Some(".") && self.leaf_text(b) == Some(".") => {
+                return
+            }
+            _ => {}
+        }
+        let line = self.pf.first_code_line(sibs[i].span);
+        self.push(
+            Rule::PanicDeep,
+            line,
+            format!(
+                "slice indexing with a non-literal index{}: out-of-bounds panics abort \
+                 the repro job; prefer `get(…)` or document the bounds invariant",
+                self.hot_suffix()
+            ),
+        );
+    }
+}
+
+/// The workspace-level contract cross-reference: every type whose impl
+/// defines `run_with` must be named by a test scope that also defines a
+/// `kernels_*` test (the bit-identity/equivalence suites).
+pub fn contract_xref(files: &[ParsedFile]) -> Vec<Finding> {
+    // Corpus: the text of every test scope that mentions a kernels_* fn.
+    let mut corpus = String::new();
+    for pf in files {
+        if !pf.policy.panic_path {
+            // Whole file is test/bench/example code.
+            let text = pf.text_of(Span {
+                lo: 0,
+                hi: pf.ast.len,
+            });
+            if text.contains("kernels_") {
+                corpus.push_str(&text);
+                corpus.push('\n');
+            }
+            continue;
+        }
+        collect_test_regions(pf, &pf.ast.items, false, &mut corpus);
+    }
+
+    // Candidates: (type, file, line) of each non-test `run_with` impl.
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for pf in files {
+        if !pf.policy.panic_path {
+            continue;
+        }
+        collect_run_with(pf, &pf.ast.items, false, &mut |ty: &str, line: u32| {
+            if !seen.insert(ty.to_string()) {
+                return;
+            }
+            if !contains_word(&corpus, ty) {
+                findings.push(Finding::new(
+                    Rule::ContractXref,
+                    pf.rel.clone(),
+                    line,
+                    format!(
+                        "type `{ty}` defines `run_with` but no kernel-equivalence test \
+                         (`kernels_*`) names it; add it to the bit-identity suite or \
+                         justify with an allow"
+                    ),
+                ));
+            }
+        });
+    }
+    findings
+}
+
+fn collect_test_regions(pf: &ParsedFile, items: &[Item], in_test: bool, corpus: &mut String) {
+    for item in items {
+        let test = in_test || item.attrs.iter().any(|a| is_test_attr(&a.body));
+        if test {
+            let text = pf.text_of(item.span);
+            if text.contains("kernels_") {
+                corpus.push_str(&text);
+                corpus.push('\n');
+            }
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Impl(b) => collect_test_regions(pf, &b.items, test, corpus),
+            ItemKind::Trait(b) => collect_test_regions(pf, &b.items, test, corpus),
+            ItemKind::Mod(b) => {
+                if let Some(items) = &b.items {
+                    collect_test_regions(pf, items, test, corpus);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn collect_run_with(
+    pf: &ParsedFile,
+    items: &[Item],
+    in_test: bool,
+    found: &mut impl FnMut(&str, u32),
+) {
+    for item in items {
+        let test = in_test || item.attrs.iter().any(|a| is_test_attr(&a.body));
+        if test {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Impl(b) => {
+                let defines = b.items.iter().any(|i| {
+                    matches!(&i.kind, ItemKind::Fn(f) if f.name == "run_with" && f.body.is_some())
+                });
+                if defines && !b.self_ty.is_empty() {
+                    found(&b.self_ty, pf.first_code_line(item.span));
+                }
+            }
+            ItemKind::Mod(m) => {
+                if let Some(items) = &m.items {
+                    collect_run_with(pf, items, test, found);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whole-word containment (neighbors must not be identifier characters).
+fn contains_word(haystack: &str, word: &str) -> bool {
+    if word.is_empty() {
+        return false;
+    }
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(at) = haystack[from..].find(word) {
+        let start = from + at;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(src: &str) -> Vec<Finding> {
+        let pf = ParsedFile::parse("crates/core/src/t.rs", src, SourcePolicy::sim_crate());
+        scan_file(&pf, &BTreeSet::new())
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn narrowing_cast_is_flagged_with_line() {
+        let f = sim("fn f(id: usize) -> u32 {\n    id as u32\n}\n");
+        assert_eq!(rules_of(&f), [Rule::Arith]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].severity, Severity::Error);
+        assert!(f[0].message.contains("try_from"));
+    }
+
+    #[test]
+    fn widening_and_literal_casts_are_fine() {
+        assert!(sim("fn f(x: u32) -> u64 { x as u64 }").is_empty());
+        assert!(sim("fn f() -> u32 { 7 as u32 }").is_empty());
+        assert!(sim("fn f() -> u32 { 'x' as u32 }").is_empty());
+        assert!(sim("fn f(x: u32) -> usize { x as usize }").is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_in_test_code_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(id: usize) -> u32 { id as u32 }\n}\n";
+        assert!(sim(src).is_empty());
+    }
+
+    #[test]
+    fn compound_add_on_accounting_counter() {
+        let f = sim("fn f(&mut self) {\n    self.cycles += 1;\n}\n");
+        assert_eq!(rules_of(&f), [Rule::Arith]);
+        assert!(f[0].message.contains("`+=`"), "{}", f[0].message);
+        assert!(f[0].message.contains("cycles"));
+    }
+
+    #[test]
+    fn binary_add_on_accounting_counter() {
+        let f = sim("fn f(&self) -> u64 { self.local + self.root.completion() }");
+        assert_eq!(rules_of(&f), [Rule::Arith]);
+        assert!(f[0].message.contains("completion"));
+    }
+
+    #[test]
+    fn saturating_add_is_fine() {
+        assert!(sim("fn f(&mut self) { self.cycles = self.cycles.saturating_add(1); }").is_empty());
+    }
+
+    #[test]
+    fn plain_counters_do_not_fire() {
+        assert!(sim("fn f(i: usize) -> usize { i + 1 }").is_empty());
+        assert!(sim("fn f(&mut self) { self.idx += 1; }").is_empty());
+    }
+
+    #[test]
+    fn deref_star_is_not_multiplication() {
+        assert!(sim("fn f(p: &u64) -> u64 { let x = *p; x }").is_empty());
+    }
+
+    #[test]
+    fn rng_draw_in_conditional_is_warned() {
+        let src = "fn f(&mut self) {\n    if self.backoff > 0 {\n        let d = self.rng.next_u64();\n    }\n}\n";
+        let f = sim(src);
+        assert_eq!(rules_of(&f), [Rule::DeterminismFlow]);
+        assert_eq!(f[0].severity, Severity::Warn);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn unconditional_rng_draw_is_fine() {
+        assert!(sim("fn f(&mut self) { let d = self.rng.next_u64(); }").is_empty());
+    }
+
+    #[test]
+    fn rng_in_loop_body_counts_as_conditional() {
+        let src = "fn f(&mut self) { for _ in 0..4 { self.rng.next_bool(); } }";
+        assert_eq!(rules_of(&sim(src)), [Rule::DeterminismFlow]);
+    }
+
+    #[test]
+    fn unstable_sort_is_warned_in_sim_code_only() {
+        let src = "fn f(v: &mut Vec<u64>) { v.sort_unstable(); }";
+        assert_eq!(rules_of(&sim(src)), [Rule::DeterminismFlow]);
+        let pf = ParsedFile::parse("crates/bench/src/t.rs", src, SourcePolicy::harness_crate());
+        assert!(scan_file(&pf, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn float_to_int_cast_is_warned() {
+        let f = sim("fn f(w: f64, n: u64) -> u64 { (n as f64 * w).round() as u64 }");
+        assert!(
+            f.iter().any(|x| x.rule == Rule::DeterminismFlow),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn indexing_and_division_are_info_by_default() {
+        let f = sim("fn f(v: &[u64], i: usize, d: u64) -> u64 { v[i] / d }");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::PanicDeep));
+        assert!(f.iter().all(|x| x.severity == Severity::Info));
+    }
+
+    #[test]
+    fn literal_index_full_range_and_literal_divisor_are_fine() {
+        assert!(sim("fn f(v: &[u64]) -> u64 { v[0] / 2 }").is_empty());
+        assert!(sim("fn f(v: &[u64]) -> &[u64] { &v[..] }").is_empty());
+        assert!(sim("fn f(x: f64) -> f64 { x / 2.0 }").is_empty());
+        // Division where a float marker is visible in the expression is
+        // exempt (float division cannot panic)…
+        assert!(sim("fn f(x: u64, y: f64) -> f64 { (x as f64) / y.floor() }").is_empty());
+        // …but an untyped `x / y` cannot be proven float and stays an
+        // info finding (baseline-absorbed, differential-gated).
+        let f = sim("fn f(x: f64, y: f64) -> f64 { x / y }");
+        assert_eq!(rules_of(&f), [Rule::PanicDeep]);
+        assert_eq!(f[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn array_type_and_macro_brackets_are_not_indexing() {
+        assert!(sim("fn f() { let x: [u64; 4] = [0; 4]; let v = vec![1, 2]; }").is_empty());
+    }
+
+    #[test]
+    fn unreachable_macro_is_flagged() {
+        let f = sim("fn f(x: u8) { match x { 0 => {} _ => unreachable!(), } }");
+        assert_eq!(rules_of(&f), [Rule::PanicDeep]);
+    }
+
+    #[test]
+    fn hot_fns_elevate_panic_deep_to_warn() {
+        let src = "fn run_with(v: &[u64], i: usize) -> u64 { v[i] }";
+        let pf = ParsedFile::parse("crates/core/src/t.rs", src, SourcePolicy::sim_crate());
+        let hot: BTreeSet<usize> = [pf.ast.items[0].span.lo].into_iter().collect();
+        let f = scan_file(&pf, &hot);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warn);
+        assert!(f[0].message.contains("hot loop"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn contract_xref_requires_a_kernels_test() {
+        let lib = "pub struct Sim;\nimpl Sim {\n    pub fn run_with(&self, seed: u64, kernel: u8) {}\n}\n";
+        let pf = ParsedFile::parse("crates/core/src/sim.rs", lib, SourcePolicy::sim_crate());
+        let f = contract_xref(&[pf]);
+        assert_eq!(rules_of(&f), [Rule::ContractXref]);
+        assert!(f[0].message.contains("`Sim`"));
+
+        // Naming the type in a kernels_* test scope satisfies the rule.
+        let test_file = "#[test]\nfn kernels_bit_identical() { let _ = Sim; }\n";
+        let pf = ParsedFile::parse("crates/core/src/sim.rs", lib, SourcePolicy::sim_crate());
+        let tf = ParsedFile::parse("crates/core/tests/eq.rs", test_file, SourcePolicy::test_code());
+        assert!(contract_xref(&[pf, tf]).is_empty());
+    }
+
+    #[test]
+    fn contract_xref_word_boundaries() {
+        // `MySim` in the corpus must not satisfy the lookup for `Sim`.
+        let lib = "pub struct Sim;\nimpl Sim { pub fn run_with(&self) {} }\n";
+        let test_file = "#[test]\nfn kernels_eq() { let _ = MySim; }\n";
+        let pf = ParsedFile::parse("crates/core/src/sim.rs", lib, SourcePolicy::sim_crate());
+        let tf = ParsedFile::parse("crates/core/tests/eq.rs", test_file, SourcePolicy::test_code());
+        assert_eq!(contract_xref(&[pf, tf]).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_panic_deep() {
+        let src = "#[test]\nfn t(v: &[u64], i: usize) { let _ = v[i]; }\n";
+        assert!(sim(src).is_empty());
+    }
+}

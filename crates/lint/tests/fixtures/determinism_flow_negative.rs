@@ -1,0 +1,19 @@
+//! Clean input for the `determinism-flow` rule: unconditional draws, a
+//! stable sort, and integer-only state derivation.
+
+/// Unconditional draws advance the stream identically on every run.
+pub fn straight_line_draw(rng: &mut Rng) -> u64 {
+    let a = rng.next_u64();
+    let b = rng.next_below(10);
+    a ^ b
+}
+
+/// Stable sorts preserve equal-key order.
+pub fn stable_order(xs: &mut Vec<(u64, u64)>) {
+    xs.sort_by_key(|p| p.0);
+}
+
+/// Integer arithmetic derives state without rounding hazards.
+pub fn integer_cycles(n: u64, d: u64) -> u64 {
+    (n * 3).div_euclid(d.max(1))
+}

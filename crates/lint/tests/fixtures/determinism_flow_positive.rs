@@ -1,0 +1,30 @@
+//! Deliberately violating input for the `determinism-flow` rule (scanned
+//! under the sim-crate policy).
+
+/// An RNG draw inside a conditionally-skipped block: whether the stream
+/// advances depends on data, so seeds stop replaying.
+pub fn skewed_draw(rng: &mut Rng, flag: bool) -> u64 {
+    let mut total = 0;
+    if flag {
+        total = rng.next_u64();
+    }
+    total
+}
+
+/// A draw buried under a match arm is just as conditional.
+pub fn match_draw(rng: &mut Rng, mode: u8) -> u64 {
+    match mode {
+        0 => 1,
+        _ => rng.next_below(10),
+    }
+}
+
+/// `sort_unstable` makes equal-key order platform-dependent.
+pub fn unstable_order(xs: &mut Vec<(u64, u64)>) {
+    xs.sort_unstable_by_key(|p| p.0);
+}
+
+/// Float arithmetic feeding integer simulation state.
+pub fn drifting_cycles(x: f64) -> u64 {
+    x.round() as u64
+}

@@ -1,0 +1,19 @@
+//! A kernel entry point whose call graph reaches a panic site: the
+//! `panic-deep` finding in `helper` must be elevated to warn severity
+//! because `run_with` is a hot root.
+
+pub struct HotSim;
+
+impl HotSim {
+    pub fn run_with(&self, xs: &[u64], i: usize) -> u64 {
+        helper(xs, i)
+    }
+}
+
+fn helper(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+fn cold_path(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}

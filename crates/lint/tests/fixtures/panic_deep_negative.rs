@@ -1,0 +1,31 @@
+//! Clean input for the `panic-deep` rule: literal-index access, `get`,
+//! float division, and test-gated panics are all sanctioned.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+pub fn safe_pick(xs: &[u64], i: usize) -> Option<u64> {
+    xs.get(i).copied()
+}
+
+pub fn float_rate(total: f64, n: f64) -> f64 {
+    (total as f64) / n.max(1.0)
+}
+
+pub fn halved(total: u64) -> u64 {
+    total / 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_freely() {
+        let xs = vec![1u64, 2];
+        let i = 1;
+        assert_eq!(xs[i], 2);
+        if false {
+            unreachable!("test code is exempt");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Deliberately violating input for the `panic-deep` rule: non-literal
+//! indexing, division by a non-literal denominator, and `unreachable!`
+//! in non-test library code.
+
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+pub fn rate(total: u64, n: u64) -> u64 {
+    total / n
+}
+
+pub fn classify(mode: u8) -> &'static str {
+    match mode {
+        0 => "idle",
+        1 => "busy",
+        _ => unreachable!("caller validated mode"),
+    }
+}

@@ -14,14 +14,21 @@ const FRAGMENTS: &[&str] = &[
     "fn main() {}\n",
     "// line comment with \"quotes\" and 'ticks'\n",
     "/* block /* nested */ still a comment */",
+    "/* depth /* three /* deep */ nesting */ here */",
+    "/* unbalanced open /* /* two deep",
     "/** doc block */\n",
     "\"plain string with // no comment\"",
     "\"escaped \\\" quote and \\\\ backslash\"",
     "r\"raw string\"",
     "r#\"raw with \" inside\"#",
     "r##\"nested \"# hashes\"##",
+    "r###\"depth three \"## and \"# inside\"###",
+    "r#####\"very deep \"#### almost-closer\"#####",
     "b\"byte string\"",
+    "b\"escaped \\\" byte \\\\ string \\x7f\"",
     "br#\"raw bytes\"#",
+    "br###\"deep raw bytes \"## inside\"###",
+    "cr##\"deep raw c string \"# inside\"##",
     "c\"c string\"",
     "'a'",
     "'\\n'",
@@ -69,6 +76,77 @@ fn line_numbers_are_monotone_and_in_range() {
             last = token.line;
         }
     });
+}
+
+#[test]
+fn deep_raw_strings_close_at_the_exact_hash_depth() {
+    // `r^N"…"^N` must ignore every shorter quote-hash run in the body and
+    // close only on exactly N hashes — for any depth, not just the common
+    // one- and two-hash forms.
+    forall!(Config::with_cases(64), (depth in check::usize_in(3..9)) {
+        let hashes = "#".repeat(depth);
+        let almost: String = (0..depth)
+            .map(|k| format!("\"{} ", "#".repeat(k)))
+            .collect();
+        let src = format!("let s = r{hashes}\"{almost}\"{hashes}; after");
+        let tokens = tokenize(&src);
+        assert!(round_trips(&src), "lost bytes at depth {depth}");
+        let raw = tokens
+            .iter()
+            .find(|t| t.kind == TokKind::RawStr)
+            .unwrap_or_else(|| panic!("no raw string at depth {depth}"));
+        assert!(raw.text.contains(&almost), "body truncated at depth {depth}");
+        assert!(
+            tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "after"),
+            "tokens after the raw string were swallowed at depth {depth}"
+        );
+    });
+}
+
+#[test]
+fn nested_block_comments_track_depth_exactly() {
+    forall!(Config::with_cases(64), (depth in check::usize_in(1..12)) {
+        let open = "/* ".repeat(depth);
+        let close = " */".repeat(depth);
+        let src = format!("{open}HashMap{close} code");
+        let tokens = tokenize(&src);
+        assert!(round_trips(&src), "lost bytes at depth {depth}");
+        // The whole nest is ONE comment token; `code` survives as an ident
+        // and the buried HashMap never surfaces as one.
+        assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokKind::BlockComment).count(),
+            1,
+            "comment split at depth {depth}"
+        );
+        assert!(tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "code"));
+        assert!(!tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+    });
+}
+
+#[test]
+fn byte_and_c_string_prefixes_never_split() {
+    // `b"…"`, `br#"…"#`, `cr##"…"##` must lex as one literal token — a
+    // split would leak the body into code and poison name-based rules.
+    for src in [
+        "b\"unwrap() inside\"",
+        "b\"esc \\\" quote\"",
+        "br#\"unwrap() raw\"#",
+        "br###\"deep \"## run\"###",
+        "cr##\"deep c \"# run\"##",
+        "c\"plain c\"",
+    ] {
+        let tokens = tokenize(src);
+        assert!(round_trips(src), "{src:?}");
+        assert_eq!(
+            tokens.iter().filter(|t| t.is_code()).count(),
+            1,
+            "literal split into multiple code tokens: {src:?} -> {tokens:?}"
+        );
+        assert!(
+            !tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "unwrap"),
+            "literal body leaked as idents: {src:?}"
+        );
+    }
 }
 
 #[test]

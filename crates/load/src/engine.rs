@@ -42,7 +42,7 @@
 //! construction — the equivalence tests pin it anyway.
 
 use abs_core::policy::BackoffPolicy;
-use abs_obs::trace::TraceSink;
+use abs_obs::trace::{lane, TraceSink};
 use abs_sim::kernel::Kernel;
 use abs_sim::stats::{p50, p95, p99, OnlineStats};
 use abs_sim::wheel::TimeWheel;
@@ -340,8 +340,8 @@ impl OpenLoopSim {
                 let wake = next.unwrap_or(cfg.horizon + 1).min(cfg.horizon + 1);
                 if wake > now {
                     let gap = wake - now;
-                    idle_cycles += idle_procs * gap;
-                    busy_cycles += (procs as u64 - idle_procs) * gap;
+                    idle_cycles = idle_cycles.saturating_add(idle_procs * gap);
+                    busy_cycles = busy_cycles.saturating_add((procs as u64 - idle_procs) * gap);
                     now = wake;
                     continue;
                 }
@@ -370,12 +370,12 @@ impl OpenLoopSim {
                     ProcState::Faa { ji, attempts } => {
                         let job = jobs[ji];
                         mem.access(p, SYNC_BASE + job.var as u64, true, RefKind::Sync);
-                        sync_accesses += 1;
+                        sync_accesses = sync_accesses.saturating_add(1);
                         accessed = true;
                         if Self::claim(&mut var_claim, &mut touched, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
-                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
+                            sink.instant(lane(p), now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             let attempts = attempts + 1;
                             state[p] = ProcState::Faa { ji, attempts };
@@ -387,12 +387,12 @@ impl OpenLoopSim {
                     ProcState::Spin { ji, attempts } => {
                         let job = jobs[ji];
                         mem.access(p, SYNC_BASE + job.var as u64, false, RefKind::Sync);
-                        sync_accesses += 1;
+                        sync_accesses = sync_accesses.saturating_add(1);
                         accessed = true;
                         if self.flag_set(now, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
-                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
+                            sink.instant(lane(p), now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             let attempts = attempts + 1;
                             state[p] = ProcState::Spin { ji, attempts };
@@ -406,21 +406,21 @@ impl OpenLoopSim {
                         // The read half is unserialized: it always
                         // completes, and the CAS presents next cycle.
                         mem.access(p, SYNC_BASE + job.var as u64, false, RefKind::Sync);
-                        sync_accesses += 1;
+                        sync_accesses = sync_accesses.saturating_add(1);
                         accessed = true;
                         state[p] = ProcState::RmwCas { ji, attempts };
                         attempts_wheel.schedule(now + 1, p);
-                        sink.instant(p as u32, now, "rmw-read", &[]);
+                        sink.instant(lane(p), now, "rmw-read", &[]);
                     }
                     ProcState::RmwCas { ji, attempts } => {
                         let job = jobs[ji];
                         mem.access(p, SYNC_BASE + job.var as u64, true, RefKind::Sync);
-                        sync_accesses += 1;
+                        sync_accesses = sync_accesses.saturating_add(1);
                         accessed = true;
                         if Self::claim(&mut var_claim, &mut touched, job.var) {
                             state[p] = ProcState::Work { ji };
                             completions.schedule(now + job.work, p);
-                            sink.instant(p as u32, now, "sync-win", &[("attempts", f64::from(attempts))]);
+                            sink.instant(lane(p), now, "sync-win", &[("attempts", f64::from(attempts))]);
                         } else {
                             // CAS failed: somebody else wrote first. Back
                             // off, then re-read before retrying.
@@ -453,7 +453,7 @@ impl OpenLoopSim {
                 t_completed[job.tenant] += 1;
                 t_service[job.tenant] += service;
                 t_latency[job.tenant].push((now - job.arrive) as f64);
-                sink.span_end(p as u32, now, job.op.label(), &[]);
+                sink.span_end(lane(p), now, job.op.label(), &[]);
             }
 
             // 4. Admissions, ascending processor id.
@@ -483,13 +483,13 @@ impl OpenLoopSim {
                     attempts_wheel.schedule(now + 1, p);
                     if sink.enabled() {
                         sink.instant(
-                            p as u32,
+                            lane(p),
                             now,
                             "admit",
                             &[("tenant", tenant as f64), ("wait", wait)],
                         );
                     }
-                    sink.span_begin(p as u32, now, job.op.label(), &[("tenant", tenant as f64)]);
+                    sink.span_begin(lane(p), now, job.op.label(), &[("tenant", tenant as f64)]);
                 }
             }
 
@@ -512,8 +512,8 @@ impl OpenLoopSim {
                 }
             }
 
-            idle_cycles += idle_procs;
-            busy_cycles += procs as u64 - idle_procs;
+            idle_cycles = idle_cycles.saturating_add(idle_procs);
+            busy_cycles = busy_cycles.saturating_add(procs as u64 - idle_procs);
             now += 1;
         }
 
@@ -530,8 +530,8 @@ impl OpenLoopSim {
                 | ProcState::RmwCas { ji, .. }
                 | ProcState::Work { ji } => ji,
             };
-            sink.instant(p as u32, cfg.horizon, "truncated", &[]);
-            sink.span_end(p as u32, cfg.horizon, jobs[ji].op.label(), &[]);
+            sink.instant(lane(p), cfg.horizon, "truncated", &[]);
+            sink.span_end(lane(p), cfg.horizon, jobs[ji].op.label(), &[]);
         }
 
         let tenants = (0..n_tenants)
@@ -569,8 +569,8 @@ impl OpenLoopSim {
         let from = now + 1;
         let to = (from + delay).min(horizon);
         if to > from {
-            sink.span_begin(p as u32, from, "backoff", &[("wait", delay as f64)]);
-            sink.span_end(p as u32, to, "backoff", &[]);
+            sink.span_begin(lane(p), from, "backoff", &[("wait", delay as f64)]);
+            sink.span_end(lane(p), to, "backoff", &[]);
         }
     }
 

@@ -540,7 +540,8 @@ impl CircuitSim {
                             &mut occupied,
                             &mut measure,
                         );
-                        let at = idle.binary_search(&p).unwrap_err(); // abs-lint: allow(panic-path) -- a holding processor cannot already be idle
+                        // A holding processor cannot already be idle.
+                        let at = idle.binary_search(&p).unwrap_err();
                         idle.insert(at, p);
                     }
                     ProcState::Attempting { .. } => due.push(p),
@@ -562,7 +563,8 @@ impl CircuitSim {
                         retries: 0,
                         dst: traffic.destination(&mut rng),
                     };
-                    let at = due.binary_search(&p).unwrap_err(); // abs-lint: allow(panic-path) -- an idle processor has no due retry
+                    // An idle processor has no due retry.
+                    let at = due.binary_search(&p).unwrap_err();
                     due.insert(at, p);
                 } else {
                     idle[kept] = p;

@@ -112,12 +112,12 @@ impl MemoryModule {
         requests: &[Request],
         rng: &mut Xoshiro256PlusPlus,
     ) -> Option<usize> {
-        self.presented += requests.len() as u64;
+        self.presented = self.presented.saturating_add(requests.len() as u64);
         if requests.is_empty() {
             return None;
         }
-        self.busy_cycles += 1;
-        self.served += 1;
+        self.busy_cycles = self.busy_cycles.saturating_add(1);
+        self.served = self.served.saturating_add(1);
         let winner = match self.policy {
             Arbitration::Random => requests[rng.next_below_usize(requests.len())].id,
             Arbitration::RoundRobin => {
@@ -301,11 +301,20 @@ impl Fenwick {
         }
     }
 
-    /// Adds `delta` at `id` (Fenwick point update).
-    fn add(&mut self, id: usize, delta: i32) {
+    /// Increments the count at `id` (Fenwick point update).
+    fn inc(&mut self, id: usize) {
         let mut i = id + 1;
         while i < self.tree.len() {
-            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Decrements the count at `id`; the id must be pending.
+    fn dec(&mut self, id: usize) {
+        let mut i = id + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= 1;
             i += i & i.wrapping_neg();
         }
     }
@@ -324,7 +333,7 @@ impl Fenwick {
     /// The k-th smallest pending id, 0-indexed (`k < len`).
     fn select(&self, k: usize) -> usize {
         debug_assert!(k < self.len);
-        let mut remaining = k as u32;
+        let mut remaining = u32::try_from(k).unwrap_or(u32::MAX);
         let mut pos = 0usize;
         let mut step = self.tree.len().next_power_of_two() / 2;
         while step > 0 {
@@ -441,7 +450,7 @@ impl PendingSet {
                 assert!(!fw.pending[req.id], "processor already pending");
                 fw.pending[req.id] = true;
                 fw.since[req.id] = req.since;
-                fw.add(req.id, 1);
+                fw.inc(req.id);
                 fw.len += 1;
             }
         }
@@ -465,7 +474,7 @@ impl PendingSet {
                     "processor must be pending"
                 );
                 fw.pending[id] = false;
-                fw.add(id, -1);
+                fw.dec(id);
                 fw.len -= 1;
                 Request::new(id, fw.since[id])
             }

@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 
-use abs_obs::trace::{Noop, TraceSink};
+use abs_obs::trace::{lane, Noop, TraceSink};
 use abs_sim::kernel::Kernel;
 use abs_sim::rng::Xoshiro256PlusPlus;
 use abs_sim::stats::OnlineStats;
@@ -454,7 +454,7 @@ impl PacketSim {
                     });
                     if delay > 0 {
                         sink.instant(
-                            p as u32,
+                            lane(p),
                             now,
                             "throttled",
                             &[("queue_len", queue_len as f64), ("delay", delay as f64)],
@@ -790,7 +790,7 @@ impl PacketSim {
                     });
                     if delay > 0 {
                         sink.instant(
-                            p as u32,
+                            lane(p),
                             now,
                             "throttled",
                             &[("queue_len", queue_len as f64), ("delay", delay as f64)],
@@ -919,7 +919,7 @@ impl PacketSim {
         if measuring {
             *blocked += 1;
         }
-        sink.instant(p as u32, now, "blocked", &[("retries", f64::from(retries + 1))]);
+        sink.instant(lane(p), now, "blocked", &[("retries", f64::from(retries + 1))]);
         let info = CollisionInfo {
             depth: 1,
             stages,

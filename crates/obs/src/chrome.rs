@@ -18,7 +18,7 @@
 use abs_exec::json::Value;
 use abs_exec::RunReport;
 
-use crate::trace::{Event, Phase};
+use crate::trace::{lane, Event, Phase};
 
 /// The `pid` reserved for wall-clock lanes (`abs-exec` worker spans).
 /// Simulated-clock units use `pid >= 1`.
@@ -178,7 +178,7 @@ fn event_row(event: &Event) -> Value {
 pub fn exec_report_lanes<T>(report: &RunReport<T>) -> (Vec<Event>, Vec<(u32, String)>) {
     let mut events = Vec::with_capacity(report.outcomes.len() * 2);
     for outcome in &report.outcomes {
-        let worker = outcome.stats.worker as u32;
+        let worker = lane(outcome.stats.worker);
         let begin = outcome.stats.queue_wait.as_secs_f64() * 1e6;
         let end = begin + outcome.stats.wall.as_secs_f64() * 1e6;
         let args = [
@@ -200,7 +200,7 @@ pub fn exec_report_lanes<T>(report: &RunReport<T>) -> (Vec<Event>, Vec<(u32, Str
     let lanes = report
         .workers
         .iter()
-        .map(|w| (w.worker as u32, format!("worker {}", w.worker)))
+        .map(|w| (lane(w.worker), format!("worker {}", w.worker)))
         .collect();
     (events, lanes)
 }

@@ -49,4 +49,4 @@ pub mod trace;
 pub use ascii::timeline;
 pub use chrome::{exec_report_lanes, sim_lane_events, validate, ChromeTrace, WALL_PID};
 pub use metrics::{Histogram, Registry, Snapshot};
-pub use trace::{Event, Name, Noop, Phase, Ring, TraceSink, DEFAULT_RING_CAPACITY};
+pub use trace::{lane, Event, Name, Noop, Phase, Ring, TraceSink, DEFAULT_RING_CAPACITY};

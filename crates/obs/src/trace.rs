@@ -20,6 +20,16 @@ use std::collections::VecDeque;
 /// from runtime data (e.g. job names on worker lanes).
 pub type Name = Cow<'static, str>;
 
+/// Converts a simulated processor/queue index into a trace lane id.
+///
+/// Lane ids are `u32` in the Chrome trace model while simulator indices
+/// are `usize`. Indices beyond `u32::MAX` — unreachable in practice, the
+/// mega-scale exhibits top out near 2^20 processors — saturate into the
+/// last lane instead of wrapping onto an unrelated one.
+pub fn lane(index: usize) -> u32 {
+    u32::try_from(index).unwrap_or(u32::MAX)
+}
+
 /// The Chrome-trace phase of an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {

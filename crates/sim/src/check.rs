@@ -159,11 +159,14 @@ pub fn u32_in(range: RangeInclusive<u32>) -> Gen<u32> {
     let (lo, hi) = (*range.start(), *range.end());
     assert!(lo <= hi, "empty range");
     Gen::new(
-        move |rng| lo + rng.next_below(u64::from(hi - lo) + 1) as u32,
+        move |rng| {
+            let draw = rng.next_below(u64::from(hi - lo) + 1);
+            lo + u32::try_from(draw).unwrap_or(0) // draw <= hi - lo by construction
+        },
         move |&v| {
             shrink_u64_toward(u64::from(v), u64::from(lo))
                 .into_iter()
-                .map(|x| x as u32)
+                .map(|x| u32::try_from(x).unwrap_or(u32::MAX))
                 .collect()
         },
     )

@@ -164,7 +164,7 @@ impl TraceRecorder {
 impl MemorySystem for TraceRecorder {
     fn access(&mut self, proc: usize, addr: u64, write: bool, kind: RefKind) {
         self.trace.records.push(TraceRecord {
-            proc: proc as u32,
+            proc: u32::try_from(proc).unwrap_or(u32::MAX),
             addr,
             write,
             kind,

@@ -334,7 +334,9 @@ impl Scheduler {
         );
         let f = (h.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         let w = 1.0 - jitter + 2.0 * jitter * f;
-        ((iter_refs as f64 * w).round() as u32).max(1)
+        u32::try_from((iter_refs as f64 * w).round() as u64)
+            .unwrap_or(u32::MAX)
+            .max(1)
     }
 
     /// The `pos`-th data reference of iteration `iter` in `section` by
